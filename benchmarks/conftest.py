@@ -1,0 +1,33 @@
+"""Shared fixtures for the figure/table benches.
+
+Every bench honors ``DYNMPI_BENCH_SCALE`` (0 < s <= 1, default is the
+per-bench default scale) and writes its rendered table both to stdout
+and to ``benchmarks/results/<name>.txt`` so results survive pytest's
+capture.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_table(results_dir):
+    def _record(name: str, table: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(table + "\n")
+        print()
+        print(table)
+        print(f"[written to {path}]")
+    return _record

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Sparse CG under competing load — with real numerics.
+
+Solves A x = 1 for a deterministic symmetric diagonally dominant
+sparse matrix in Dyn-MPI's vector-of-lists format.  A competing
+process appears mid-solve; the runtime redistributes matrix rows *and*
+the solver vectors (data and metadata travel together, the point of
+the paper's sparse design) without perturbing the arithmetic: the
+distributed residual matches a sequential CG bit for bit.
+
+Run:  python examples/cg_solver.py
+"""
+
+import numpy as np
+
+from repro.apps import CGConfig, cg_program, run_program
+from repro.apps.reference import cg_matrix_dense, cg_reference
+from repro.config import RuntimeSpec, pentium_cluster
+from repro.simcluster import Cluster, single_competitor
+
+
+def main() -> None:
+    cfg = CGConfig(n=96, iters=30, exact_math=True)
+    cluster = Cluster(pentium_cluster(4))
+    spec = RuntimeSpec(allow_removal=False, daemon_interval=0.002,
+                       grace_period=3, post_redist_period=4)
+    res = run_program(
+        cluster, cg_program, cfg,
+        spec=spec, adaptive=True,
+        load_script=single_competitor(1, start_cycle=6),
+    )
+
+    A = cg_matrix_dense(cfg.n, nnz_target=cfg.nnz_target, seed=cfg.seed)
+    x_ref, resid_ref = cg_reference(A, np.ones(cfg.n), cfg.iters)
+
+    x = np.zeros(cfg.n)
+    for out in res.per_rank:
+        for g, v in out["x_local"].items():
+            x[g] = v
+
+    print(f"CG on a {cfg.n}x{cfg.n} sparse system, 4 nodes, competing "
+          f"process on node 1 from cycle 6\n")
+    print(f"  redistributions        : {res.n_redistributions}")
+    print(f"  distributed residual   : {res.per_rank[0]['residual']:.3e}")
+    print(f"  sequential residual    : {resid_ref:.3e}")
+    print(f"  max |x_dist - x_seq|   : {np.abs(x - x_ref).max():.3e}")
+    print(f"  simulated time         : {res.wall_time:.3f} s")
+    assert np.allclose(x, x_ref, atol=1e-8), "distributed CG diverged!"
+    print("\n  distributed solution matches the sequential solver.")
+
+
+if __name__ == "__main__":
+    main()

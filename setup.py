@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This project is fully described by pyproject.toml; this file exists so
+`pip install -e .` works on environments whose setuptools lacks the
+`wheel` package required for PEP 660 editable builds (pip then falls
+back to the legacy `setup.py develop` path).
+"""
+
+from setuptools import setup
+
+setup()

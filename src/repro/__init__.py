@@ -1,0 +1,33 @@
+"""Dyn-MPI reproduction (Weatherly, Lowenthal, Nakazawa, Lowenthal — SC'03).
+
+Layers, bottom to top:
+
+* :mod:`repro.simcluster` — discrete-event non dedicated cluster.
+* :mod:`repro.mpi`        — MPI-like message passing over the simulator.
+* :mod:`repro.sysmon`     — dmpi_ps / vmstat / /PROC / gethrtime models.
+* :mod:`repro.dmem`       — redistribution-friendly dense & sparse arrays.
+* :mod:`repro.core`       — the Dyn-MPI runtime (the paper's contribution).
+* :mod:`repro.apps`       — Jacobi, SOR, CG, particle simulation.
+* :mod:`repro.experiments`— figure/table regeneration harness.
+"""
+
+__version__ = "1.0.0"
+
+from .config import (
+    ClusterSpec,
+    NetworkSpec,
+    NodeSpec,
+    RuntimeSpec,
+    pentium_cluster,
+    ultrasparc_cluster,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "NetworkSpec",
+    "NodeSpec",
+    "RuntimeSpec",
+    "pentium_cluster",
+    "ultrasparc_cluster",
+    "__version__",
+]

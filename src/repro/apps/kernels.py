@@ -1,0 +1,167 @@
+"""Numerical kernels and calibrated work-cost models for the four
+evaluated applications.
+
+Work units are "effective flops" on the reference node: a node with
+``speed`` work units/second executes ``speed`` of them per second.
+The constants below are calibrated (see EXPERIMENTS.md) so that, on
+the paper's Pentium cluster spec, the 4-node dedicated CG run lands
+near the paper's 37.5 s; the other apps use consistent per-flop costs.
+
+* Jacobi: 5-point stencil, ~5 flops + loads per cell -> ~9 work/cell.
+* Red/Black SOR: each half-sweep updates half the cells with ~7 flops
+  each -> ~3.5 work/cell per phase.
+* CG: one phase cycle stands for one NAS-CG *outer* iteration (~25
+  inner solves of SpMV + vector ops folded into the per-row constant,
+  which is what puts the 4-node dedicated run near the paper's
+  37.5 s).
+* Particle: per-cell base cost plus per-particle move/collide cost.
+
+The real-math kernels operate row-wise through accessor callables so
+they work directly on :class:`~repro.dmem.dense.ProjectedArray` rows
+(including ghost rows fetched by redistribution or halo exchange).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "JACOBI_WORK_PER_CELL",
+    "SOR_WORK_PER_CELL_PER_PHASE",
+    "CG_WORK_PER_NNZ",
+    "CG_WORK_PER_ROW",
+    "PARTICLE_WORK_PER_CELL",
+    "PARTICLE_WORK_PER_PARTICLE",
+    "jacobi_row_update",
+    "sor_row_halfsweep",
+    "make_cg_rows",
+    "particle_row_flows",
+]
+
+JACOBI_WORK_PER_CELL = 9.0
+SOR_WORK_PER_CELL_PER_PHASE = 3.5
+CG_WORK_PER_NNZ = 1250.0
+CG_WORK_PER_ROW = 1000.0
+PARTICLE_WORK_PER_CELL = 6.0
+PARTICLE_WORK_PER_PARTICLE = 40.0
+
+
+def jacobi_row_update(src_row, s_up, s_down) -> np.ndarray:
+    """One Jacobi row: the 5-point average with Dirichlet boundaries.
+
+    ``src_row`` is the row itself; ``s_up`` / ``s_down`` are the rows
+    above/below (None at the grid edge).  Returns the updated row.
+    """
+    acc = src_row.copy()
+    cnt = np.ones_like(src_row)
+    acc[1:] += src_row[:-1]
+    cnt[1:] += 1
+    acc[:-1] += src_row[1:]
+    cnt[:-1] += 1
+    if s_up is not None:
+        acc += s_up
+        cnt += 1
+    if s_down is not None:
+        acc += s_down
+        cnt += 1
+    return acc / cnt
+
+
+def sor_row_halfsweep(row, r_up, r_down, g: int, color: int, omega: float = 1.5) -> None:
+    """In-place red/black Gauss-Seidel half-sweep of one row.
+
+    Updates the cells of ``row`` whose checkerboard color matches
+    ``color`` (0=red, 1=black) using the standard SOR relaxation with
+    the current values of the other color.
+    """
+    n = row.shape[0]
+    cols = np.arange(n)
+    mask = ((cols + g) % 2) == color
+    neigh = np.zeros(n)
+    cnt = np.zeros(n)
+    neigh[1:] += row[:-1]
+    cnt[1:] += 1
+    neigh[:-1] += row[1:]
+    cnt[:-1] += 1
+    if r_up is not None:
+        neigh += r_up
+        cnt += 1
+    if r_down is not None:
+        neigh += r_down
+        cnt += 1
+    with np.errstate(invalid="ignore", divide="ignore"):
+        gs = np.where(cnt > 0, neigh / np.maximum(cnt, 1), row)
+    row[mask] = (1 - omega) * row[mask] + omega * gs[mask]
+
+
+#: band width of the CG matrix's off-diagonal couplings
+_CG_SPAN = 16
+
+
+def make_cg_rows(n: int, row: int, *, nnz_target: int = 12, seed: int = 1234):
+    """Deterministically generate row ``row`` of a diagonally dominant
+    **symmetric** banded random sparse matrix.
+
+    Edge (i, i+d) exists iff d is among the hashed offsets of i, so row
+    i's upward partners are {i+d : d in offsets(i)} and its downward
+    partners are {i-d : d in offsets(i-d)} — both computable from the
+    row index alone.  Any rank can therefore generate any row
+    identically (no global build), which is also what lets the work
+    model know per-row nnz cheaply.  Returns ``(cols, vals)`` with the
+    diagonal included.
+    """
+    half = max(1, (nnz_target - 1) // 2)
+    cols = {row}
+    for d in _cg_offsets(row, half, seed):
+        if row + d < n:
+            cols.add(row + d)
+    for d in range(1, _CG_SPAN + 1):
+        i = row - d
+        if i >= 0 and d in _cg_offsets(i, half, seed):
+            cols.add(i)
+    cols = sorted(cols)
+    vals = []
+    for c in cols:
+        if c == row:
+            vals.append(float(nnz_target + 4.0))  # dominance
+        else:
+            vals.append(_pair_val(row, c, seed))
+    return np.asarray(cols, dtype=np.int64), np.asarray(vals, dtype=float)
+
+
+def _cg_offsets(row: int, count: int, seed: int) -> set[int]:
+    """Hashed upward edge offsets of ``row`` within the band."""
+    out = set()
+    for t in range(count):
+        h = (row * 2_654_435_761 + t * 40_503 + seed * 97) & 0xFFFFFFFF
+        out.add(1 + (h % _CG_SPAN))
+    return out
+
+
+def _pair_val(i: int, j: int, seed: int) -> float:
+    lo, hi = (i, j) if i < j else (j, i)
+    h = (lo * 73_856_093 ^ hi * 19_349_663 ^ seed) & 0xFFFFFFFF
+    return -0.5 * (h / 0xFFFFFFFF)  # negative off-diagonals, SPD-friendly
+
+
+def particle_row_flows(counts: np.ndarray, g: int, step: int, seed: int):
+    """One time step of the count-based particle transport for row ``g``.
+
+    Returns ``(stay, up, down)``: the particles remaining in each cell
+    (after intra-row drift) and the per-cell counts flowing to the row
+    above/below.  Deterministic in ``(g, step, seed)`` — ownership of
+    the row never changes the physics, which is what makes results
+    invariant under redistribution.
+    """
+    counts = np.asarray(counts)
+    rng = np.random.default_rng(((step * 1_000_003 + g) ^ seed) & 0x7FFFFFFF)
+    n = counts.shape[0]
+    frac_up = rng.uniform(0.05, 0.15, size=n)
+    frac_down = rng.uniform(0.05, 0.15, size=n)
+    up = np.floor(counts * frac_up)
+    down = np.floor(counts * frac_down)
+    stay = counts - up - down
+    # intra-row drift: circular shift of a third of the remainder
+    drift = np.floor(stay / 3.0)
+    stay = stay - drift + np.roll(drift, 1)
+    return stay, up, down

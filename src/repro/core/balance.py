@@ -1,0 +1,220 @@
+"""Work distribution: naive relative power vs successive balancing
+(paper Section 4.3).
+
+The model behind both: node ``i`` with available power ``P_i`` (work
+units/second the app actually gets) assigned work share ``s_i`` of a
+cycle's total ``W`` work units, paying ``C_i`` CPU work units and
+``X_i`` exposed wire seconds for its communication, completes a phase
+cycle in::
+
+    T_i(s_i) = (s_i * W + C_i) / P_i + X_i
+
+* ``naive_shares`` ignores C and X entirely (the relative-power rule
+  of CRAUL [2]) — communication still *happens*, so the loaded node,
+  which pays for it with CPU it does not have, becomes the straggler.
+* ``closed_form_shares`` solves the equal-completion-time system
+  exactly (with clamping for nodes whose fair share would be
+  negative).
+* ``successive_balance`` is the paper's iterative algorithm: rounds of
+  two-node balances between each loaded node and a representative
+  unloaded node, the remainder re-balanced among the unloaded nodes,
+  until the unloaded assignment stops changing.  It converges to the
+  closed form (a property the test suite checks) while matching the
+  paper's description operationally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import DistributionError
+from .commcost import CommCostModel, PhasePattern
+from .power import naive_shares
+
+__all__ = [
+    "BalanceResult",
+    "comm_terms",
+    "predict_times",
+    "closed_form_shares",
+    "successive_balance",
+]
+
+
+@dataclass(frozen=True)
+class BalanceResult:
+    shares: np.ndarray          # work share per relative rank (sums to 1)
+    predicted_times: np.ndarray  # predicted cycle seconds per relative rank
+    rounds: int                 # balancing rounds used
+
+    @property
+    def predicted_cycle_time(self) -> float:
+        return float(self.predicted_times.max())
+
+
+def comm_terms(
+    n: int,
+    counts: Sequence[int],
+    patterns: Sequence[PhasePattern],
+    model: CommCostModel,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(CPU work units, exposed wire seconds) per node per cycle."""
+    cpu = np.zeros(n)
+    wire = np.zeros(n)
+    for rel in range(n):
+        for pat in patterns:
+            c, x = pat.comm_cost(rel, counts, model)
+            cpu[rel] += c
+            wire[rel] += x
+    return cpu, wire
+
+
+def predict_times(
+    shares: Sequence[float],
+    total_work: float,
+    avails: Sequence[float],
+    patterns: Sequence[PhasePattern],
+    model: CommCostModel,
+    n_rows: int,
+) -> np.ndarray:
+    """Predicted per-node cycle time for a candidate distribution."""
+    shares = np.asarray(shares, dtype=float)
+    avails = np.asarray(avails, dtype=float)
+    n = shares.size
+    counts = np.rint(shares * n_rows).astype(int)
+    cpu, wire = comm_terms(n, counts, patterns, model)
+    return (shares * total_work + cpu) / avails + wire
+
+
+def closed_form_shares(
+    total_work: float,
+    avails: Sequence[float],
+    patterns: Sequence[PhasePattern],
+    model: CommCostModel,
+    n_rows: int,
+    _inner_iters: int = 3,
+) -> BalanceResult:
+    """Equal-completion-time solution of the cost model.
+
+    Solves ``T_i(s_i) = T`` for all i with ``sum s_i = 1``; nodes whose
+    solution would be negative are clamped to zero and the system
+    re-solved over the rest.  Because comm terms depend (weakly) on the
+    row counts, the solve is repeated ``_inner_iters`` times with
+    updated counts.
+    """
+    avails = np.asarray(avails, dtype=float)
+    n = avails.size
+    if n == 0:
+        raise DistributionError("need at least one node")
+    if np.any(avails <= 0):
+        raise DistributionError("available powers must be positive")
+    if total_work <= 0:
+        raise DistributionError("total work must be positive")
+
+    shares = naive_shares(avails)
+    banned = np.zeros(n, dtype=bool)  # sticky zero-share clamps
+    for _ in range(_inner_iters):
+        counts = np.rint(shares * n_rows).astype(int)
+        cpu, wire = comm_terms(n, counts, patterns, model)
+        active = ~banned
+        if not active.any():
+            raise DistributionError("no node can take any work")
+        new = np.zeros(n)
+        for _clamp in range(n):
+            p, c, x = avails[active], cpu[active], wire[active]
+            t_star = (total_work + c.sum() + (p * x).sum()) / p.sum()
+            s = (p * (t_star - x) - c) / total_work
+            if np.all(s >= -1e-12):
+                new[active] = np.clip(s, 0.0, None)
+                break
+            # clamp the most negative node to zero and re-solve
+            idx = np.flatnonzero(active)
+            worst = idx[np.argmin(s)]
+            active[worst] = False
+            banned[worst] = True
+            new[worst] = 0.0
+            if not active.any():
+                raise DistributionError("no node can take any work")
+        shares = new / new.sum()
+    times = predict_times(shares, total_work, avails, patterns, model, n_rows)
+    return BalanceResult(shares, times, rounds=0)
+
+
+def successive_balance(
+    total_work: float,
+    avails: Sequence[float],
+    loads: Sequence[int],
+    patterns: Sequence[PhasePattern],
+    model: CommCostModel,
+    n_rows: int,
+    tol: float = 1e-3,
+    max_rounds: int = 50,
+) -> BalanceResult:
+    """The paper's successive balancing (Section 4.3).
+
+    Each round: (1) for every loaded node, a two-node balance against a
+    representative unloaded node fixes the loaded node's share; (2) the
+    remaining work is balanced among the unloaded nodes.  Rounds repeat
+    until the unloaded assignment changes by less than ``tol``.
+    """
+    avails = np.asarray(avails, dtype=float)
+    loads = np.asarray(loads, dtype=float)
+    n = avails.size
+    if loads.shape != avails.shape:
+        raise DistributionError("loads and avails must have the same shape")
+    if np.any(avails <= 0):
+        raise DistributionError("available powers must be positive")
+    if total_work <= 0:
+        raise DistributionError("total work must be positive")
+
+    loaded = loads > 1.0
+    if not loaded.any() or loaded.all():
+        # no pairing possible; fall back to the global solve
+        result = closed_form_shares(total_work, avails, patterns, model, n_rows)
+        return BalanceResult(result.shares, result.predicted_times, rounds=0)
+
+    unloaded = ~loaded
+    shares = naive_shares(avails)
+    rounds = 0
+    for rounds in range(1, max_rounds + 1):
+        counts = np.rint(shares * n_rows).astype(int)
+        cpu, wire = comm_terms(n, counts, patterns, model)
+
+        # representative unloaded node: the one with median power
+        u_idx = np.flatnonzero(unloaded)
+        rep = u_idx[np.argsort(avails[u_idx])[len(u_idx) // 2]]
+        t_ref = (shares[rep] * total_work + cpu[rep]) / avails[rep] + wire[rep]
+
+        # (1) two-node balance for each loaded node against the rep
+        new = shares.copy()
+        for l in np.flatnonzero(loaded):
+            s_l = (avails[l] * (t_ref - wire[l]) - cpu[l]) / total_work
+            new[l] = min(max(s_l, 0.0), 1.0)
+
+        # (2) balance the remainder among the unloaded nodes
+        rem = 1.0 - new[loaded].sum()
+        if rem <= 0.0:
+            # loaded nodes would take everything: cap them, give the
+            # unloaded nodes a proportional floor
+            new[loaded] *= 0.5 / new[loaded].sum()
+            rem = 0.5
+        p_u = avails[u_idx]
+        c_u, x_u = cpu[u_idx], wire[u_idx]
+        t_u = (rem * total_work + c_u.sum() + (p_u * x_u).sum()) / p_u.sum()
+        s_u = np.clip((p_u * (t_u - x_u) - c_u) / total_work, 0.0, None)
+        if s_u.sum() <= 0:
+            s_u = naive_shares(p_u) * rem
+        else:
+            s_u *= rem / s_u.sum()
+
+        delta = np.abs(new[u_idx] - shares[u_idx]).max() if rounds > 1 else np.inf
+        delta = min(delta, np.abs(s_u - shares[u_idx]).max())
+        new[u_idx] = s_u
+        shares = new / new.sum()
+        if delta < tol:
+            break
+
+    times = predict_times(shares, total_work, avails, patterns, model, n_rows)
+    return BalanceResult(shares, times, rounds=rounds)

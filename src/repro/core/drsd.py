@@ -1,0 +1,84 @@
+"""Deferred Regular Section Descriptors (paper Section 2.2).
+
+A DRSD describes an array access inside a partitioned loop in terms of
+*start*, *end* and *step*, with the bound computation deferred to run
+time (when the loop bounds for the current distribution are known).
+For a first-dimension distribution the accesses we must describe are
+row accesses affine in the loop variable — e.g. Jacobi's
+
+    A[i]   -> DRSD(A, WRITE, lo_off=0, hi_off=0)
+    B[i-1..i+1] -> DRSD(B, READ, lo_off=-1, hi_off=+1)
+
+``rows_needed(s, e)`` materializes the deferred bounds for loop range
+``[s, e]``.  Redistribution uses DRSDs to decide which non-owned rows
+a node must also acquire (ghost/halo rows), exactly the Fortran-D
+technique the paper borrows (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import RegistrationError
+
+__all__ = ["AccessMode", "DRSD"]
+
+
+class AccessMode:
+    READ = "read"
+    WRITE = "write"
+    READWRITE = "readwrite"
+
+    ALL = (READ, WRITE, READWRITE)
+
+
+@dataclass(frozen=True)
+class DRSD:
+    """A deferred regular section over an array's first dimension.
+
+    For a partitioned loop iteration range ``[s, e]`` (inclusive), the
+    rows touched are ``{lo_off + s, lo_off + s + step, ...}`` up to
+    ``hi_off + e``, clipped to ``[0, n_rows)``.
+    """
+
+    array: str
+    mode: str
+    lo_off: int = 0
+    hi_off: int = 0
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mode not in AccessMode.ALL:
+            raise RegistrationError(f"bad access mode {self.mode!r}")
+        if self.step < 1:
+            raise RegistrationError(f"DRSD step must be >= 1, got {self.step}")
+        if self.lo_off > self.hi_off:
+            raise RegistrationError(
+                f"DRSD offsets inverted: lo {self.lo_off} > hi {self.hi_off}"
+            )
+
+    @property
+    def writes(self) -> bool:
+        return self.mode in (AccessMode.WRITE, AccessMode.READWRITE)
+
+    @property
+    def reads(self) -> bool:
+        return self.mode in (AccessMode.READ, AccessMode.READWRITE)
+
+    def rows_needed(self, s: int, e: int, n_rows: int) -> range:
+        """Rows this access touches when the loop runs ``[s, e]``.
+
+        Returns an empty range for an empty loop (``e < s``).
+        """
+        if e < s:
+            return range(0)
+        lo = max(0, s + self.lo_off)
+        hi = min(n_rows - 1, e + self.hi_off)
+        if hi < lo:
+            return range(0)
+        return range(lo, hi + 1, self.step)
+
+    def halo_width(self) -> tuple[int, int]:
+        """(rows below, rows above) the owned range that must be
+        acquired: the ghost region."""
+        return (max(0, -self.lo_off), max(0, self.hi_off))

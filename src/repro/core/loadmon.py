@@ -1,0 +1,43 @@
+"""Load-change detection (paper Section 4.2).
+
+"Our policy is to check system load at every phase cycle and
+redistribute if any change is detected."  :class:`LoadMonitor` keeps
+the last agreed-upon load vector and reports changes; the runtime
+feeds it the allgathered ``dmpi_ps`` samples of the active group.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["LoadMonitor"]
+
+
+class LoadMonitor:
+    def __init__(self) -> None:
+        self._last: Optional[tuple[int, ...]] = None
+        self.n_changes = 0
+        self.change_cycles: list[int] = []
+
+    @property
+    def last(self) -> Optional[tuple[int, ...]]:
+        return self._last
+
+    def observe(self, loads: Sequence[int], cycle: int) -> bool:
+        """Record ``loads``; True if they differ from the last
+        observation (the redistribution trigger)."""
+        loads = tuple(int(v) for v in loads)
+        changed = self._last is not None and loads != self._last
+        if self._last is None:
+            self._last = loads
+            return False
+        if changed:
+            self.n_changes += 1
+            self.change_cycles.append(cycle)
+            self._last = loads
+        return changed
+
+    def rebase(self, loads: Sequence[int]) -> None:
+        """Reset the baseline (after a group change, the vector length
+        changes)."""
+        self._last = tuple(int(v) for v in loads)

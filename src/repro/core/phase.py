@@ -1,0 +1,46 @@
+"""Phase descriptors (paper Section 2.1).
+
+An application is an iterative sequence of *phases* — computation over
+a partitioned loop followed by communication — all enclosed by the
+*phase cycle* loop.  A :class:`Phase` records the partitioned loop
+size, the communication pattern (used by the balancer's cost model),
+and the array accesses (DRSDs) made inside the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import RegistrationError
+from .commcost import PhasePattern
+from .drsd import DRSD
+
+__all__ = ["Phase"]
+
+
+@dataclass
+class Phase:
+    phase_id: int
+    n_iters: int
+    pattern: PhasePattern
+    accesses: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_iters <= 0:
+            raise RegistrationError(f"phase {self.phase_id}: n_iters must be positive")
+        if not isinstance(self.pattern, PhasePattern):
+            raise RegistrationError(
+                f"phase {self.phase_id}: pattern must be a PhasePattern"
+            )
+
+    def add_access(self, drsd: DRSD) -> None:
+        self.accesses.append(drsd)
+
+    def accesses_of(self, array: str) -> list:
+        return [a for a in self.accesses if a.array == array]
+
+    def arrays(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for a in self.accesses:
+            seen.setdefault(a.array, None)
+        return list(seen)

@@ -1,0 +1,47 @@
+"""Relative power estimation (paper Section 4.3, the "naive" input).
+
+The relative power of a node is the fraction of its CPU the
+application can expect: with ``load`` processes sharing the CPU
+(``dmpi_ps`` counts the application itself, so load >= 1 on a node
+running the app), the app receives ``speed / load`` work units per
+second under fair time slicing.
+
+``naive_shares`` is the distribution rule of Rencuzogullari &
+Dwarkadas (CRAUL) that the paper improves on: work proportional to
+relative power, ignoring the CPU cost of communication.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import DistributionError
+
+__all__ = ["available_powers", "naive_shares"]
+
+
+def available_powers(speeds: Sequence[float], loads: Sequence[int]) -> np.ndarray:
+    """Work units per second available to the app on each node."""
+    speeds = np.asarray(speeds, dtype=float)
+    loads = np.asarray(loads, dtype=float)
+    if speeds.shape != loads.shape:
+        raise DistributionError("speeds and loads must have the same shape")
+    if np.any(speeds <= 0):
+        raise DistributionError("node speeds must be positive")
+    loads = np.maximum(loads, 1.0)  # the app itself always counts
+    return speeds / loads
+
+
+def naive_shares(powers: Sequence[float]) -> np.ndarray:
+    """Work shares proportional to relative power."""
+    powers = np.asarray(powers, dtype=float)
+    if powers.size == 0:
+        raise DistributionError("need at least one node")
+    if np.any(powers < 0):
+        raise DistributionError("powers must be non-negative")
+    total = powers.sum()
+    if total <= 0:
+        raise DistributionError("total power is zero")
+    return powers / total

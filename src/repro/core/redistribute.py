@@ -1,0 +1,158 @@
+"""Data redistribution (paper Section 4.4).
+
+Effecting a new distribution requires each node to (1) determine data
+ownership, (2) deallocate memory no longer needed, (3) allocate memory
+for newly owned data, (4) update pointers for data that stays, and
+(5) schedule communication for data that moves.  The DRSDs determine
+exactly which rows a node must hold under the new loop bounds — owned
+rows plus the ghost rows its read accesses reach (the Fortran-D
+technique).
+
+Because every rank derives the same plan from the same inputs (old
+distribution, new distribution, DRSDs), no negotiation round is
+needed: rank ``src`` sends to rank ``dst`` exactly the rows ``src``
+owned before that ``dst`` needs now and did not own before.  The data
+moves in one pairwise ``alltoallv`` — one packed message per
+communicating pair, the "entire extended rows with a single message"
+property of the projection layout.
+
+Memory-management cost (allocations, frees, copies, pointer rewrites,
+and paging if the footprint is large) is charged to the CPU through
+the :class:`~repro.dmem.allocator.MemCostModel`, so redistribution
+time in experiments reflects the allocation scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Mapping, Optional, Sequence
+
+from ..dmem import MemCostModel
+from ..errors import RedistributionError
+from ..mpi import Endpoint, Group
+from ..mpi.collectives import alltoallv
+from ..simcluster import Compute
+from .phase import Phase
+
+__all__ = ["RedistReport", "needed_map", "redistribute"]
+
+Bounds = Sequence[Optional[tuple[int, int]]]
+
+
+@dataclass
+class RedistReport:
+    rows_sent: int = 0
+    rows_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    mem_work: float = 0.0
+    per_array_sent: dict = field(default_factory=dict)
+
+
+def needed_map(
+    phases: Mapping[int, Phase],
+    bounds: Bounds,
+    array_rows: Mapping[str, int],
+) -> list[dict[str, set[int]]]:
+    """needed[rel][array] = set of global rows rank ``rel`` must hold
+    under loop ``bounds`` (owned + DRSD ghosts), for every rank."""
+    n = len(bounds)
+    needed: list[dict[str, set[int]]] = [
+        {name: set() for name in array_rows} for _ in range(n)
+    ]
+    for rel in range(n):
+        b = bounds[rel]
+        if b is None:
+            continue
+        s, e = b
+        for phase in phases.values():
+            for acc in phase.accesses:
+                n_rows = array_rows.get(acc.array)
+                if n_rows is None:
+                    raise RedistributionError(
+                        f"phase {phase.phase_id} accesses unregistered array "
+                        f"{acc.array!r}"
+                    )
+                needed[rel][acc.array].update(acc.rows_needed(s, e, n_rows))
+    return needed
+
+
+def _owned_rows(bounds: Bounds, rel: int) -> set[int]:
+    b = bounds[rel]
+    if b is None:
+        return set()
+    return set(range(b[0], b[1] + 1))
+
+
+def redistribute(
+    ep: Endpoint,
+    group: Group,
+    old_bounds: Bounds,
+    new_bounds: Bounds,
+    arrays: Mapping[str, object],
+    needed: Sequence[Mapping[str, set[int]]],
+    mem_model: MemCostModel,
+    memory_bytes: int = 0,
+) -> Generator:
+    """Move array rows from ``old_bounds`` ownership to satisfy
+    ``needed`` (derived from ``new_bounds``); a generator to drive with
+    ``yield from``.  Returns a :class:`RedistReport`.
+    """
+    me = group.rel(ep.rank)
+    n = group.size
+    if len(old_bounds) != n or len(new_bounds) != n or len(needed) != n:
+        raise RedistributionError("bounds/needed must cover the whole group")
+
+    report = RedistReport()
+    my_old = _owned_rows(old_bounds, me)
+
+    # -- build one packed block per destination -------------------------
+    blocks: list = [None] * n
+    nbytes: list[int] = [64] * n
+    for dst in range(n):
+        if dst == me:
+            continue
+        dst_old = _owned_rows(old_bounds, dst)
+        entry = {}
+        total = 64
+        for name, arr in arrays.items():
+            rows = sorted((needed[dst][name] - dst_old) & my_old)
+            if not rows:
+                continue
+            payload, nb = arr.pack(rows)
+            entry[name] = (rows, payload)
+            total += nb
+            report.rows_sent += len(rows)
+            report.per_array_sent[name] = report.per_array_sent.get(name, 0) + len(rows)
+        if entry:
+            blocks[dst] = entry
+            nbytes[dst] = total
+            report.bytes_sent += total
+
+    snapshots = {name: arr.stats.snapshot() for name, arr in arrays.items()}
+
+    # -- the single exchange --------------------------------------------
+    incoming = yield from alltoallv(ep, group, blocks, nbytes=nbytes)
+
+    # -- drop stale rows, install received rows, allocate the rest ------
+    for name, arr in arrays.items():
+        arr.retarget(needed[me][name])
+    for src in range(n):
+        entry = incoming[src]
+        if src == me or not entry:
+            continue
+        for name, (rows, payload) in entry.items():
+            arrays[name].unpack(rows, payload)
+            report.rows_received += len(rows)
+    for name, arr in arrays.items():
+        arr.hold(needed[me][name])  # zero-fill anything nobody sent
+
+    # -- charge the memory-management CPU cost --------------------------
+    mem_work = 0.0
+    for name, arr in arrays.items():
+        delta = arr.stats.delta(snapshots[name])
+        mem_work += mem_model.work(delta, memory_bytes)
+    report.mem_work = mem_work
+    if mem_work > 0:
+        yield Compute(mem_work)
+    return report

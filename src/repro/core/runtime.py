@@ -1,0 +1,809 @@
+"""The Dyn-MPI runtime (paper Sections 2 and 4).
+
+:class:`DynMPIJob` is the job-level object: it owns the communicator,
+the ``dmpi_ps`` daemons, the comm cost model and the shared rank
+groups.  :class:`DynMPI` is one rank's context — the object a Dyn-MPI
+program drives, mirroring the paper's API:
+
+===========================  =======================================
+paper                        here
+===========================  =======================================
+DMPI_init                    DynMPIJob(...) + program launch
+DMPI_register_dense_array    ctx.register_dense(...)
+DMPI_register_sparse_array   ctx.register_sparse(...)
+DMPI_init_phase              ctx.init_phase(...)
+DMPI_add_array_access        ctx.add_array_access(...)
+DMPI_get_start_iter          ctx.start_iter()
+DMPI_get_end_iter            ctx.end_iter()
+DMPI_participating           ctx.participating()
+DMPI_get_rel_rank            ctx.rel_rank()
+DMPI_get_num_active          ctx.num_active()
+DMPI_Send / DMPI_Recv        ctx.send_rel(...) / ctx.recv_rel(...)
+===========================  =======================================
+
+plus ``begin_cycle`` / ``end_cycle`` which bracket every phase cycle
+and drive the adaptation state machine:
+
+NORMAL --(dmpi_ps load change)--> GRACE (5 cycles: measure per-
+iteration unloaded times via /PROC or min-filtered gethrtime)
+--> redistribute (successive balancing -> variable block -> DRSD-driven
+row movement) --> POST (10 cycles: measure average cycle time)
+--> drop decision (predicted unloaded-only config vs measured) -->
+NORMAL.
+
+All adaptation decisions are pure functions of data every active rank
+possesses identically (allgathered loads, iteration times, cycle
+times), so ranks stay in lockstep without extra coordination — the
+same property the real Dyn-MPI relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional, Sequence
+
+import numpy as np
+
+from ..config import RuntimeSpec
+from ..dmem import MemCostModel, ProjectedArray, SparseMatrix
+from ..errors import RegistrationError, SimulationError
+from ..mpi import Endpoint, Group, make_comm
+from ..mpi import collectives as coll
+from ..mpi.datatypes import SUM, ReduceOp
+from ..simcluster import Cluster, Compute
+from ..sysmon import DmpiPs, HrTimer, ProcClock
+from .balance import successive_balance
+from .commcost import CommCostModel, PhasePattern, measure_comm_model
+from .distribution import BlockDistribution, shares_to_blocks
+from .drsd import DRSD, AccessMode
+from .loadmon import LoadMonitor
+from .phase import Phase
+from .redistribute import needed_map, redistribute
+from .removal import evaluate_drop
+from .timing import GraceSamples, estimate_unloaded_times
+
+__all__ = ["DynMPIJob", "DynMPI", "RuntimeEvent"]
+
+_CTRL_TAG = (1 << 29) + 7   # control messages to removed ranks (send-out)
+_TOKEN_TAG = (1 << 29) + 8  # per-cycle token: active root -> removed ranks
+_LOAD_TAG = (1 << 29) + 9   # load updates: removed ranks -> active root
+
+
+@dataclass
+class RuntimeEvent:
+    """One adaptation event, for experiment reporting."""
+
+    kind: str          # "redistribute" | "drop" | "logical_drop"
+    cycle: int
+    time: float
+    duration: float = 0.0
+    detail: dict = field(default_factory=dict)
+
+
+class DynMPIJob:
+    """Job-level state shared by all ranks (one per application run)."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        spec: Optional[RuntimeSpec] = None,
+        *,
+        adaptive: bool = True,
+        measure_model: bool = False,
+        mem_model: Optional[MemCostModel] = None,
+    ):
+        self.cluster = cluster
+        self.spec = spec or RuntimeSpec()
+        self.adaptive = adaptive
+        self.comm = make_comm(cluster)
+        self.ps = DmpiPs(cluster, self.spec.daemon_interval)
+        self.hr = HrTimer(cluster.sim)
+        self.mem_model = mem_model or MemCostModel()
+        if measure_model:
+            self.comm_model = measure_comm_model(cluster.spec)
+        else:
+            self.comm_model = CommCostModel.from_spec(
+                cluster.spec.network, cluster.spec.node.speed
+            )
+        self.ref_speed = cluster.spec.node.speed
+        self.events: list[RuntimeEvent] = []
+        self.contexts: list["DynMPI"] = []
+        self._groups: dict[tuple, Group] = {}
+        self._launched = False
+
+    def group_for(self, world_ranks: tuple) -> Group:
+        """Shared Group per rank set (tag counters must be common)."""
+        g = self._groups.get(world_ranks)
+        if g is None:
+            g = Group(list(world_ranks))
+            self._groups[world_ranks] = g
+        return g
+
+    def launch(self, program: Callable[..., Any], args: tuple = (),
+               until: float = float("inf")) -> list[Any]:
+        """Run ``program(ctx, *args)`` on every rank to completion."""
+        if self._launched:
+            raise SimulationError("job already launched")
+        self._launched = True
+        self.ps.start()
+        procs = []
+        for rank in range(self.comm.size):
+            ctx = DynMPI(self, self.comm.endpoint(rank))
+            self.contexts.append(ctx)
+            gen = program(ctx, *args)
+            if not hasattr(gen, "send"):
+                raise RegistrationError("program must be a generator function")
+            node = self.cluster.nodes[self.comm.node_of(rank)]
+            proc = self.cluster.sim.spawn(gen, name=f"rank{rank}", node=node)
+            ctx._bind_process(proc)
+            self.ps.register_monitored(node.node_id, proc)
+            procs.append(proc)
+        self.cluster.sim.run_all(procs, until=until)
+        return [p.result for p in procs]
+
+
+class DynMPI:
+    """One rank's Dyn-MPI context."""
+
+    MODE_NORMAL = "normal"
+    MODE_GRACE = "grace"
+    MODE_POST = "post"
+
+    def __init__(self, job: DynMPIJob, ep: Endpoint):
+        self.job = job
+        self.ep = ep
+        self.spec = job.spec
+        self.world_rank = ep.rank
+        self.node_id = ep.node_id
+        self.active = True
+        self.active_group = job.group_for(tuple(range(ep.size)))
+        self.arrays: dict[str, object] = {}
+        self.phases: dict[int, Phase] = {}
+        self.loop_size: Optional[int] = None
+        self.bounds: Optional[tuple] = None  # per active rel rank
+        self.mode = self.MODE_NORMAL
+        self.cycle = -1
+        self.monitor = LoadMonitor()
+        self.loads: Optional[np.ndarray] = None
+        self.row_weights: Optional[np.ndarray] = None  # seconds/iter, unloaded
+        self.last_estimate_source = "none"
+        self.proc = None
+        self.proc_clock: Optional[ProcClock] = None
+        self._committed = False
+        self._grace: dict[int, GraceSamples] = {}
+        self._grace_count = 0
+        self._grace_cycle_open: dict[int, tuple] = {}
+        self._post_count = 0
+        self._post_times: list[float] = []
+        self._cycle_t0 = 0.0
+        self.cycle_times: list[float] = []
+        self.cycle_stamps: list[tuple[float, float]] = []  # (begin, end) sim times
+        self.n_redistributions = 0
+        self._removed_loads: dict[int, int] = {}  # rejoin bookkeeping (rel 0)
+        self._token_root = 0  # world rank that sends this removed rank tokens
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def _bind_process(self, proc) -> None:
+        self.proc = proc
+        self.proc_clock = ProcClock(proc, self.spec.proc_granularity)
+
+    # ------------------------------------------------------------------
+    # registration (paper: DMPI_register_*, DMPI_init_phase, ...)
+    # ------------------------------------------------------------------
+    def register_dense(
+        self,
+        name: str,
+        shape: Sequence[int],
+        dtype=np.float64,
+        *,
+        materialized: bool = True,
+    ) -> ProjectedArray:
+        self._check_not_committed(name)
+        arr = ProjectedArray(name, shape, dtype, materialized=materialized)
+        self.arrays[name] = arr
+        return arr
+
+    def register_sparse(
+        self, name: str, shape: tuple[int, int], dtype=np.float64
+    ) -> SparseMatrix:
+        self._check_not_committed(name)
+        arr = SparseMatrix(name, shape, dtype)
+        self.arrays[name] = arr
+        return arr
+
+    def _check_not_committed(self, name: str) -> None:
+        if self._committed:
+            raise RegistrationError("cannot register after commit()")
+        if name in self.arrays:
+            raise RegistrationError(f"array {name!r} already registered")
+
+    def init_phase(self, phase_id: int, n_iters: int, pattern: PhasePattern) -> None:
+        if self._committed:
+            raise RegistrationError("cannot add phases after commit()")
+        if phase_id in self.phases:
+            raise RegistrationError(f"phase {phase_id} already declared")
+        if self.loop_size is None:
+            self.loop_size = n_iters
+        elif n_iters != self.loop_size:
+            raise RegistrationError(
+                f"all phases must share the partitioned loop size "
+                f"({self.loop_size}); phase {phase_id} has {n_iters}"
+            )
+        self.phases[phase_id] = Phase(phase_id, n_iters, pattern)
+
+    def add_array_access(
+        self,
+        phase_id: int,
+        array: str,
+        mode: str,
+        lo_off: int = 0,
+        hi_off: int = 0,
+        step: int = 1,
+    ) -> None:
+        if phase_id not in self.phases:
+            raise RegistrationError(f"unknown phase {phase_id}")
+        if array not in self.arrays:
+            raise RegistrationError(f"unknown array {array!r}")
+        self.phases[phase_id].add_access(DRSD(array, mode, lo_off, hi_off, step))
+
+    def commit(self) -> None:
+        """Finish registration: validate, set the initial even block
+        distribution, and allocate the initially needed rows."""
+        if self._committed:
+            raise RegistrationError("commit() called twice")
+        if not self.phases:
+            raise RegistrationError("no phases declared")
+        if self.loop_size is None:
+            raise RegistrationError("loop size undetermined")
+        for phase in self.phases.values():
+            for acc in phase.accesses:
+                arr = self.arrays[acc.array]
+                if arr.n_rows < self.loop_size:
+                    raise RegistrationError(
+                        f"array {acc.array!r} has {arr.n_rows} rows but the "
+                        f"partitioned loop needs {self.loop_size}"
+                    )
+        dist = BlockDistribution.even(self.loop_size, self.active_group.size)
+        self.bounds = dist.bounds
+        needed = self._needed(self.bounds)
+        me = self.active_group.rel(self.world_rank)
+        for name, arr in self.arrays.items():
+            arr.hold(needed[me][name])
+        # baseline load expectation: all nodes unloaded
+        self.monitor.rebase([1] * self.active_group.size)
+        self._committed = True
+
+    # ------------------------------------------------------------------
+    # queries (paper: DMPI_get_*, DMPI_participating)
+    # ------------------------------------------------------------------
+    def participating(self) -> bool:
+        return self.active
+
+    def rel_rank(self) -> int:
+        return self.active_group.rel(self.world_rank)
+
+    def num_active(self) -> int:
+        return self.active_group.size
+
+    def my_bounds(self) -> tuple[int, int]:
+        """(start_iter, end_iter) inclusive; (0, -1) when empty."""
+        if not self.active:
+            return (0, -1)
+        b = self.bounds[self.rel_rank()]
+        return (0, -1) if b is None else b
+
+    def start_iter(self) -> int:
+        return self.my_bounds()[0]
+
+    def end_iter(self) -> int:
+        return self.my_bounds()[1]
+
+    def nn_neighbors(self) -> tuple[Optional[int], Optional[int]]:
+        """(left, right) relative ranks among ranks that own rows —
+        the neighbor set for nearest-neighbor exchanges."""
+        if not self.active:
+            return (None, None)
+        nonempty = [r for r in range(self.active_group.size)
+                    if self.bounds[r] is not None]
+        me = self.rel_rank()
+        if me not in nonempty:
+            return (None, None)
+        pos = nonempty.index(me)
+        left = nonempty[pos - 1] if pos > 0 else None
+        right = nonempty[pos + 1] if pos + 1 < len(nonempty) else None
+        return (left, right)
+
+    def array(self, name: str):
+        return self.arrays[name]
+
+    # ------------------------------------------------------------------
+    # relative-rank communication (paper: DMPI_Send / DMPI_Recv)
+    # ------------------------------------------------------------------
+    def send_rel(self, dst_rel: int, tag: int, payload=None, nbytes=None) -> Generator:
+        yield from self.ep.send(self.active_group.world(dst_rel), tag, payload, nbytes)
+
+    def recv_rel(self, src_rel: int, tag: int) -> Generator:
+        result = yield from self.ep.recv(self.active_group.world(src_rel), tag)
+        return result
+
+    def sendrecv_rel(self, dst_rel, send_tag, payload, src_rel, recv_tag,
+                     nbytes=None) -> Generator:
+        result = yield from self.ep.sendrecv(
+            self.active_group.world(dst_rel), send_tag, payload,
+            self.active_group.world(src_rel), recv_tag, nbytes=nbytes,
+        )
+        return result
+
+    def allreduce_active(self, value, op: ReduceOp = SUM) -> Generator:
+        result = yield from coll.allreduce(self.ep, self.active_group, value, op)
+        return result
+
+    def allgather_active(self, value) -> Generator:
+        result = yield from coll.allgather(self.ep, self.active_group, value)
+        return result
+
+    def bcast_active(self, value=None, root: int = 0) -> Generator:
+        result = yield from coll.bcast(self.ep, self.active_group, value, root)
+        return result
+
+    def global_reduce(self, value, op: ReduceOp = SUM) -> Generator:
+        """Global reduction with the paper's send-in/send-out rule:
+        removed ranks contribute nothing (no send-in) but still receive
+        the result (send-out), keeping their global state current."""
+        removed = self._removed_world_ranks()
+        if self.active:
+            result = yield from coll.allreduce(self.ep, self.active_group, value, op)
+            if removed and self.rel_rank() == 0:
+                for w in removed:
+                    self.ep.isend(w, _CTRL_TAG, result)
+            return result
+        result, _ = yield from self.ep.recv(tag=_CTRL_TAG)
+        return result
+
+    def _removed_world_ranks(self) -> list[int]:
+        return [w for w in range(self.ep.size) if w not in self.active_group]
+
+    # ------------------------------------------------------------------
+    # the phase cycle
+    # ------------------------------------------------------------------
+    def begin_cycle(self) -> Generator:
+        if not self._committed:
+            raise RegistrationError("commit() must be called before cycles")
+        self.cycle += 1
+        if self.world_rank == 0:
+            self.job.cluster.notify_cycle(self.cycle)
+        if not self.active:
+            if self.spec.allow_rejoin:
+                yield from self._removed_cycle()
+            return
+        self._cycle_t0 = self.job.hr.read()
+        if not self.job.adaptive:
+            return
+        local = int(self.job.ps.load(self.node_id))
+        if self.spec.allow_rejoin:
+            candidates = self._poll_rejoin_candidates()
+            gathered = yield from coll.allgather_dissemination(
+                self.ep, self.active_group, (local, candidates)
+            )
+            loads = [g[0] for g in gathered]
+            rejoining = gathered[0][1]  # rel 0's view is authoritative
+            yield from self._send_tokens(rejoining)
+            if rejoining:
+                yield from self._perform_rejoin(rejoining)
+                return  # next cycle starts fresh over the new group
+        else:
+            loads = yield from coll.allgather_dissemination(
+                self.ep, self.active_group, local
+            )
+        self.loads = np.asarray(loads, dtype=int)
+        changed = self.monitor.observe(loads, self.cycle)
+        if changed:
+            self._enter_grace()  # (re)start with fresh measurements
+
+    # ------------------------------------------------------------------
+    # node rejoin (paper Section 2.2 "potentially later add back" /
+    # Section 6 future work) — enabled with RuntimeSpec.allow_rejoin
+    # ------------------------------------------------------------------
+    def _removed_cycle(self) -> Generator:
+        """One phase cycle on a physically removed rank: publish the
+        local load to the active root and consume the root's per-cycle
+        token, which either keeps us parked or re-admits us."""
+        self.ep.isend(self._token_root, _LOAD_TAG,
+                      (self.world_rank, int(self.job.ps.load(self.node_id))))
+        token, _ = yield from self.ep.recv(tag=_TOKEN_TAG)
+        kind, root, payload = token
+        self._token_root = root
+        if kind == "rejoin":
+            new_world, old_bounds, new_bounds = payload
+            yield from self._apply_rejoin(new_world, old_bounds, new_bounds)
+
+    def _poll_rejoin_candidates(self) -> tuple:
+        """(active rel 0 only) Drain pending load updates from removed
+        ranks; return the world ranks whose load has cleared."""
+        if self.rel_rank() != 0:
+            return ()
+        updates = {}
+        while self.ep.iprobe(tag=_LOAD_TAG) is not None:
+            req = self.ep.irecv(tag=_LOAD_TAG)
+            if not req.test():
+                break
+            (world, load), _status = req._value
+            updates[world] = load
+        self._removed_loads.update(updates)
+        removed = set(self._removed_world_ranks())
+        return tuple(sorted(
+            w for w, load in self._removed_loads.items()
+            if w in removed and load <= 1
+        ))
+
+    def _send_tokens(self, rejoining: tuple) -> Generator:
+        """(active rel 0 only) One token per removed rank per cycle."""
+        if self.rel_rank() != 0:
+            return
+        removed = self._removed_world_ranks()
+        if not removed:
+            return
+        payload = None
+        if rejoining:
+            new_world, old_bounds, new_bounds = self._rejoin_plan(rejoining)
+            payload = (new_world, old_bounds, new_bounds)
+        for w in removed:
+            if rejoining and w in rejoining:
+                self.ep.isend(w, _TOKEN_TAG, ("rejoin", self.world_rank, payload))
+            else:
+                self.ep.isend(w, _TOKEN_TAG, ("noop", self.world_rank, None))
+        return
+        yield  # pragma: no cover - keeps this a generator
+
+    def _rejoin_plan(self, rejoining: tuple):
+        """Deterministic rejoin plan every participant derives or
+        receives identically: the new world rank list, the current
+        ownership expressed in the new group's rel space, and the new
+        even-by-weight distribution."""
+        new_world = tuple(sorted(set(self.active_group.ranks) | set(rejoining)))
+        old_bounds = tuple(
+            self.bounds[self.active_group.rel(w)] if w in self.active_group else None
+            for w in new_world
+        )
+        weights = self.row_weights
+        shares = np.ones(len(new_world)) / len(new_world)
+        nd = shares_to_blocks(self.loop_size, shares, weights)
+        return new_world, old_bounds, nd.bounds
+
+    def _perform_rejoin(self, rejoining: tuple) -> Generator:
+        """(all active ranks) Re-admit ``rejoining`` world ranks."""
+        new_world, old_bounds, new_bounds = self._rejoin_plan(rejoining)
+        group = self.job.group_for(new_world)
+        needed = self._needed(new_bounds)
+        yield from redistribute(
+            self.ep, group, old_bounds, new_bounds,
+            self.arrays, needed, self.job.mem_model,
+            memory_bytes=self.job.cluster.spec.node.memory_bytes,
+        )
+        was_rel0 = self.rel_rank() == 0
+        self.active_group = group
+        self.bounds = tuple(new_bounds)
+        self.monitor.rebase([1] * group.size)
+        self.mode = self.MODE_NORMAL
+        for w in rejoining:
+            self._removed_loads.pop(w, None)
+        if was_rel0:
+            self.job.events.append(RuntimeEvent(
+                kind="rejoin",
+                cycle=self.cycle,
+                time=self.job.cluster.sim.now,
+                detail={"rejoined_world": list(rejoining)},
+            ))
+
+    def _apply_rejoin(self, new_world, old_bounds, new_bounds) -> Generator:
+        """(rejoining rank) Participate in the re-admission exchange."""
+        group = self.job.group_for(tuple(new_world))
+        needed = self._needed(tuple(new_bounds))
+        yield from redistribute(
+            self.ep, group, tuple(old_bounds), tuple(new_bounds),
+            self.arrays, needed, self.job.mem_model,
+            memory_bytes=self.job.cluster.spec.node.memory_bytes,
+        )
+        self.active = True
+        self.active_group = group
+        self.bounds = tuple(new_bounds)
+        self.monitor.rebase([1] * group.size)
+        self.mode = self.MODE_NORMAL
+        self._cycle_t0 = self.job.hr.read()
+
+    def _enter_grace(self) -> None:
+        if (
+            self.spec.max_redistributions
+            and self.n_redistributions >= self.spec.max_redistributions
+        ):
+            return  # redistribution budget exhausted (Figure 5 "Once")
+        self.mode = self.MODE_GRACE
+        self._grace = {}
+        self._grace_count = 0
+
+    def end_cycle(self) -> Generator:
+        if not self.active:
+            return
+        now = self.job.hr.read()
+        cycle_time = now - self._cycle_t0
+        self.cycle_times.append(cycle_time)
+        self.cycle_stamps.append((self._cycle_t0, now))
+        if not self.job.adaptive:
+            return
+        if self.mode == self.MODE_GRACE:
+            self._grace_count += 1
+            if self._grace_count >= self.spec.grace_period:
+                yield from self._redistribute()
+        elif self.mode == self.MODE_POST:
+            self._post_count += 1
+            self._post_times.append(cycle_time)
+            if self._post_count >= self.spec.post_redist_period:
+                yield from self._consider_drop()
+
+    # ------------------------------------------------------------------
+    # computation (instrumented during the grace period)
+    # ------------------------------------------------------------------
+    def compute(
+        self,
+        phase_id: int,
+        work_of_rows: Callable[[int, int], np.ndarray],
+        exec_rows: Optional[Callable[[int, int], None]] = None,
+        rows: Optional[tuple[int, int]] = None,
+    ) -> Generator:
+        """Run this rank's share of phase ``phase_id``.
+
+        ``work_of_rows(s, e)`` returns per-row work units for rows
+        ``s..e`` inclusive (the application's cost surrogate — on a
+        real system this is simply the rows' execution).  ``exec_rows``
+        optionally performs the real numpy computation for those rows.
+
+        ``rows`` restricts the call to a sub-range of the owned rows —
+        applications that overlap communication with computation run
+        the interior first, then the boundary rows after their ghosts
+        arrive.  A phase's sub-range calls may be split arbitrarily as
+        long as each cycle covers every owned row exactly once.
+
+        During the grace period the rows run one at a time with timer
+        reads around each, exactly how Dyn-MPI measures unloaded
+        iteration times; otherwise the whole block runs as one compute.
+        """
+        if phase_id not in self.phases:
+            raise RegistrationError(f"unknown phase {phase_id}")
+        if not self.active:
+            return
+        os_, oe = self.my_bounds()
+        if oe < os_:
+            return
+        if rows is None:
+            s, e = os_, oe
+        else:
+            s, e = rows
+            if e < s:
+                return
+            if s < os_ or e > oe:
+                raise RegistrationError(
+                    f"compute rows ({s},{e}) outside owned bounds ({os_},{oe})"
+                )
+        works = np.asarray(work_of_rows(s, e), dtype=float)
+        if works.shape != (e - s + 1,):
+            raise RegistrationError(
+                f"work_of_rows returned shape {works.shape}, expected {(e - s + 1,)}"
+            )
+        if self.mode == self.MODE_GRACE and self.job.adaptive:
+            key = (phase_id, s, e)
+            rows = list(range(s, e + 1))
+            samples = self._grace.get(key)
+            if samples is None or samples.rows != rows:
+                samples = GraceSamples(rows)
+                self._grace[key] = samples
+            hr_row = np.empty(len(rows))
+            proc_row = np.empty(len(rows))
+            hr = self.job.hr
+            pc = self.proc_clock
+            for i, g in enumerate(rows):
+                t0h, t0p = hr.read(), pc.read()
+                yield Compute(float(works[i]))
+                if exec_rows is not None:
+                    exec_rows(g, g)
+                t1h, t1p = hr.read(), pc.read()
+                hr_row[i] = hr.interval(t0h, t1h)
+                proc_row[i] = t1p - t0p
+            samples.add_cycle(hr_row, proc_row)
+        else:
+            yield Compute(float(works.sum()))
+            if exec_rows is not None:
+                exec_rows(s, e)
+
+    # ------------------------------------------------------------------
+    # adaptation internals
+    # ------------------------------------------------------------------
+    def _needed(self, bounds) -> list[dict[str, set[int]]]:
+        array_rows = {name: arr.n_rows for name, arr in self.arrays.items()}
+        return needed_map(self.phases, bounds, array_rows)
+
+    def _patterns(self) -> list[PhasePattern]:
+        return [p.pattern for p in self.phases.values()]
+
+    def _estimate_my_rows(self) -> tuple[list[int], np.ndarray]:
+        """Combine per-(phase, sub-range) grace samples into per-row
+        unloaded times (seconds per iteration, summed over phases)."""
+        s, e = self.my_bounds()
+        rows = list(range(s, e + 1)) if e >= s else []
+        total = np.zeros(len(rows))
+        source = "none"
+        for _key, samples in self._grace.items():
+            est, source = estimate_unloaded_times(
+                samples, self.spec.hrtimer_threshold
+            )
+            for g, value in zip(samples.rows, est):
+                if not (s <= g <= e):
+                    raise SimulationError(
+                        "grace samples out of sync with loop bounds"
+                    )
+                total[g - s] += value
+        self.last_estimate_source = source
+        return rows, total
+
+    def _redistribute(self) -> Generator:
+        t0 = self.job.hr.read()
+        rows, est = self._estimate_my_rows()
+        gathered = yield from coll.allgather_dissemination(
+            self.ep, self.active_group, (rows, est)
+        )
+        weights = np.zeros(self.loop_size)
+        for rws, ests in gathered:
+            if len(rws):
+                weights[np.asarray(rws, dtype=int)] = ests
+        # guard against zero measurements (a row that never got timed
+        # cannot be weightless or the block split degenerates); no
+        # upper clipping — genuinely heavy rows are exactly what the
+        # unbalanced-computation support must preserve (Section 5.4)
+        positive = weights[weights > 0]
+        if positive.size:
+            weights = np.maximum(weights, float(positive.min()) * 1e-3)
+        else:
+            weights = np.maximum(weights, 1.0)
+        self.row_weights = weights
+
+        total_work = float(weights.sum()) * self.job.ref_speed
+        avails = (self.job.ref_speed / np.maximum(self.loads, 1)).astype(float)
+        result = successive_balance(
+            total_work, avails, self.loads, self._patterns(),
+            self.job.comm_model, self.loop_size,
+            tol=self.spec.balance_tol, max_rounds=self.spec.balance_max_rounds,
+        )
+        new_dist = shares_to_blocks(self.loop_size, result.shares, weights)
+        yield from self._apply_bounds(new_dist.bounds)
+
+        self.mode = self.MODE_POST
+        self._post_count = 0
+        self._post_times = []
+        self._grace = {}
+        self.n_redistributions += 1
+        if self.rel_rank() == 0:
+            self.job.events.append(RuntimeEvent(
+                kind="redistribute",
+                cycle=self.cycle,
+                time=self.job.cluster.sim.now,
+                duration=self.job.hr.read() - t0,
+                detail={
+                    "shares": result.shares.tolist(),
+                    "loads": self.loads.tolist(),
+                    "source": self.last_estimate_source,
+                    "rounds": result.rounds,
+                },
+            ))
+
+    def _apply_bounds(self, new_bounds) -> Generator:
+        needed = self._needed(new_bounds)
+        report = yield from redistribute(
+            self.ep, self.active_group, self.bounds, new_bounds,
+            self.arrays, needed, self.job.mem_model,
+            memory_bytes=self.job.cluster.spec.node.memory_bytes,
+        )
+        self.bounds = tuple(new_bounds)
+        return report
+
+    def _consider_drop(self) -> Generator:
+        avg = float(np.mean(self._post_times)) if self._post_times else 0.0
+        avgs = yield from coll.allgather_dissemination(
+            self.ep, self.active_group, avg
+        )
+        measured_max = max(avgs)
+        total_work = float(self.row_weights.sum()) * self.job.ref_speed
+        decision = evaluate_drop(
+            self.loads, [self.job.ref_speed] * self.active_group.size,
+            total_work, self._patterns(), self.job.comm_model,
+            self.loop_size, measured_max, self.spec,
+        )
+        self.mode = self.MODE_NORMAL
+        if not decision.drop:
+            return
+        if self.spec.drop_mode == "physical":
+            yield from self._physical_drop(decision)
+        else:
+            yield from self._logical_drop(decision)
+
+    def _physical_drop(self, decision) -> Generator:
+        group = self.active_group
+        n = group.size
+        removed = set(decision.removed)
+        kept = [r for r in range(n) if r not in removed]
+        shares_full = np.zeros(n)
+        shares_full[kept] = decision.keep_shares
+        nd = shares_to_blocks(self.loop_size, shares_full, self.row_weights)
+        yield from self._apply_bounds(nd.bounds)
+
+        new_world = tuple(group.world(r) for r in kept)
+        was_rel0 = self.rel_rank() == 0
+        if self.world_rank not in new_world:
+            self.active = False
+            self._token_root = new_world[0]
+        self.active_group = self.job.group_for(new_world)
+        self.bounds = tuple(nd.bounds[r] for r in kept)
+        self.loads = self.loads[kept]
+        self.monitor.rebase(self.loads)
+        if was_rel0:
+            self.job.events.append(RuntimeEvent(
+                kind="drop",
+                cycle=self.cycle,
+                time=self.job.cluster.sim.now,
+                detail={
+                    "removed_world": [group.world(r) for r in sorted(removed)],
+                    "predicted": decision.predicted_time,
+                    "measured": decision.measured_time,
+                },
+            ))
+
+    def _logical_drop(self, decision) -> Generator:
+        """Assign removed-candidate nodes a minimal number of rows so
+        ranks stay static (the paper's logical-dropping alternative)."""
+        group = self.active_group
+        n = group.size
+        removed = sorted(decision.removed)
+        kept = [r for r in range(n) if r not in removed]
+        min_rows = self.spec.logical_min_rows
+        weights = self.row_weights
+        # build bounds directly: removed nodes get min_rows rows at their
+        # rank position; the rest is split by the kept shares
+        counts = np.zeros(n, dtype=int)
+        for r in removed:
+            counts[r] = min_rows
+        free_rows = self.loop_size - counts.sum()
+        if free_rows <= 0:
+            raise SimulationError("logical drop leaves no rows for active nodes")
+        keep_shares = np.asarray(decision.keep_shares, dtype=float)
+        kept_counts = np.maximum(np.rint(keep_shares * free_rows).astype(int), 0)
+        # fix rounding to hit the total exactly
+        diff = free_rows - kept_counts.sum()
+        order = np.argsort(-keep_shares)
+        i = 0
+        while diff != 0 and len(kept) > 0:
+            j = order[i % len(kept)]
+            step = 1 if diff > 0 else -1
+            if kept_counts[j] + step >= 0:
+                kept_counts[j] += step
+                diff -= step
+            i += 1
+        for idx, r in enumerate(kept):
+            counts[r] = kept_counts[idx]
+        bounds = []
+        lo = 0
+        for r in range(n):
+            if counts[r] == 0:
+                bounds.append(None)
+            else:
+                bounds.append((lo, lo + counts[r] - 1))
+                lo += counts[r]
+        yield from self._apply_bounds(tuple(bounds))
+        if self.rel_rank() == 0:
+            self.job.events.append(RuntimeEvent(
+                kind="logical_drop",
+                cycle=self.cycle,
+                time=self.job.cluster.sim.now,
+                detail={"removed_rel": removed,
+                        "predicted": decision.predicted_time,
+                        "measured": decision.measured_time},
+            ))

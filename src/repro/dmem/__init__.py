@@ -1,0 +1,26 @@
+"""Redistribution-friendly memory layouts (paper Section 4.1).
+
+* :class:`ProjectedArray` — the paper's 2-d projection scheme for
+  dense N-d arrays (vector of independently allocated extended rows).
+* :class:`ContiguousArray` — the complete-reallocation baseline it is
+  compared against (Figure 3).
+* :class:`SparseMatrix` — vector-of-lists sparse storage with the
+  paper's iterator API and pack/unpack for the wire.
+* :class:`AllocStats` / :class:`MemCostModel` — allocation traffic
+  accounting and its conversion to CPU work.
+"""
+
+from .allocator import AllocStats, MemCostModel
+from .contiguous import ContiguousArray
+from .dense import ProjectedArray, VirtualRow
+from .sparse import SparseIterator, SparseMatrix
+
+__all__ = [
+    "AllocStats",
+    "MemCostModel",
+    "ProjectedArray",
+    "ContiguousArray",
+    "VirtualRow",
+    "SparseMatrix",
+    "SparseIterator",
+]

@@ -1,0 +1,199 @@
+"""Dense matrices in the paper's 2-d projection layout (Section 4.1.1).
+
+An N-dimensional array is projected onto two dimensions: the first
+axis stays, and each *extended row* holds the product of the remaining
+N-1 dimensions.  Locally, a node keeps one independently allocated
+buffer per extended row, addressed by **global** row index.  This is
+exactly the property redistribution needs:
+
+* a whole extended row travels in a single message,
+* rows that stay local are *reused* — only the top-level pointer
+  vector is rewritten (``pointer_moves``), never the data.
+
+Arrays can be *materialized* (real numpy buffers — used by tests,
+examples, and small benches, so numerical correctness is checkable) or
+*virtual* (only byte sizes tracked — used by paper-scale benches where
+only timing matters; both modes drive identical runtime code paths).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AllocationError
+from .allocator import AllocStats
+
+__all__ = ["ProjectedArray", "VirtualRow"]
+
+
+class VirtualRow:
+    """Placeholder for a row in an unmaterialized array."""
+
+    __slots__ = ("nbytes",)
+
+    def __init__(self, nbytes: int):
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<VirtualRow {self.nbytes}B>"
+
+
+class ProjectedArray:
+    """A distributed dense array in 2-d projection layout."""
+
+    def __init__(
+        self,
+        name: str,
+        shape: Sequence[int],
+        dtype=np.float64,
+        *,
+        materialized: bool = True,
+    ):
+        shape = tuple(int(s) for s in shape)
+        if len(shape) < 1 or any(s <= 0 for s in shape):
+            raise AllocationError(f"invalid shape {shape}")
+        self.name = name
+        self.shape = shape
+        self.n_rows = shape[0]
+        self.row_elems = int(math.prod(shape[1:])) if len(shape) > 1 else 1
+        self.dtype = np.dtype(dtype)
+        self.row_nbytes = self.row_elems * self.dtype.itemsize
+        self.materialized = materialized
+        self.stats = AllocStats()
+        self._rows: dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    # row lifecycle
+    # ------------------------------------------------------------------
+    def _check_row(self, g: int) -> None:
+        if not (0 <= g < self.n_rows):
+            raise AllocationError(f"{self.name}: row {g} out of range [0,{self.n_rows})")
+
+    def hold(self, rows: Iterable[int]) -> int:
+        """Allocate buffers for ``rows`` (no-op for rows already held).
+        Returns the number of rows newly allocated."""
+        added = 0
+        for g in rows:
+            self._check_row(g)
+            if g in self._rows:
+                continue
+            if self.materialized:
+                self._rows[g] = np.zeros(self.row_elems, dtype=self.dtype)
+            else:
+                self._rows[g] = VirtualRow(self.row_nbytes)
+            self.stats.record_alloc(self.row_nbytes)
+            added += 1
+        return added
+
+    def drop(self, rows: Iterable[int]) -> int:
+        """Free buffers for ``rows``; returns the number dropped."""
+        dropped = 0
+        for g in rows:
+            if self._rows.pop(g, None) is not None:
+                self.stats.record_free(self.row_nbytes)
+                dropped += 1
+        return dropped
+
+    def held_rows(self) -> list[int]:
+        return sorted(self._rows)
+
+    def holds(self, g: int) -> bool:
+        return g in self._rows
+
+    @property
+    def n_held(self) -> int:
+        return len(self._rows)
+
+    @property
+    def held_nbytes(self) -> int:
+        return len(self._rows) * self.row_nbytes
+
+    # ------------------------------------------------------------------
+    # element access (materialized only)
+    # ------------------------------------------------------------------
+    def row(self, g: int) -> np.ndarray:
+        """The buffer of global row ``g`` (a live view, writable)."""
+        self._check_row(g)
+        try:
+            buf = self._rows[g]
+        except KeyError:
+            raise AllocationError(f"{self.name}: row {g} is not held locally") from None
+        if isinstance(buf, VirtualRow):
+            raise AllocationError(f"{self.name} is virtual; row data unavailable")
+        return buf
+
+    def set_row(self, g: int, data: np.ndarray) -> None:
+        buf = self.row(g)
+        data = np.asarray(data, dtype=self.dtype).reshape(self.row_elems)
+        buf[:] = data
+        self.stats.record_copy(self.row_nbytes)
+
+    def block(self, lo: int, hi: int) -> np.ndarray:
+        """Copy rows ``lo..hi`` inclusive into a contiguous 2-d array
+        (row-major), shaped (hi-lo+1, row_elems)."""
+        if hi < lo:
+            raise AllocationError(f"empty block [{lo},{hi}]")
+        out = np.empty((hi - lo + 1, self.row_elems), dtype=self.dtype)
+        for i, g in enumerate(range(lo, hi + 1)):
+            out[i] = self.row(g)
+        return out
+
+    def set_block(self, lo: int, data: np.ndarray) -> None:
+        data = np.asarray(data, dtype=self.dtype)
+        for i in range(data.shape[0]):
+            self.set_row(lo + i, data[i])
+
+    # ------------------------------------------------------------------
+    # redistribution support
+    # ------------------------------------------------------------------
+    def pack(self, rows: Sequence[int]):
+        """Pack ``rows`` for the wire.  Returns ``(payload, nbytes)``:
+        a (k, row_elems) array for materialized arrays, None for
+        virtual ones (sizes still charged)."""
+        nbytes = len(rows) * self.row_nbytes
+        if not self.materialized:
+            for g in rows:
+                if g not in self._rows:
+                    raise AllocationError(f"{self.name}: packing unheld row {g}")
+            return None, nbytes
+        out = np.empty((len(rows), self.row_elems), dtype=self.dtype)
+        for i, g in enumerate(rows):
+            out[i] = self.row(g)
+        self.stats.record_copy(nbytes)
+        return out, nbytes
+
+    def unpack(self, rows: Sequence[int], payload) -> None:
+        """Install received ``payload`` into ``rows`` (allocating them)."""
+        self.hold(rows)
+        if not self.materialized:
+            return
+        if payload is None:
+            raise AllocationError(f"{self.name}: materialized array received no data")
+        payload = np.asarray(payload, dtype=self.dtype)
+        if payload.shape != (len(rows), self.row_elems):
+            raise AllocationError(
+                f"{self.name}: bad unpack shape {payload.shape}, "
+                f"expected {(len(rows), self.row_elems)}"
+            )
+        for i, g in enumerate(rows):
+            self._rows[g][:] = payload[i]
+        self.stats.record_copy(len(rows) * self.row_nbytes)
+
+    def retarget(self, keep: Iterable[int]) -> None:
+        """Rewrite the top-level pointer vector for a new local set:
+        drop rows not in ``keep``; surviving rows are reused (pointer
+        copy only, the projection method's selling point)."""
+        keep = set(keep)
+        for g in keep:
+            self._check_row(g)
+        to_drop = [g for g in self._rows if g not in keep]
+        self.drop(to_drop)
+        # the top-level vector (size = first dimension) is copied
+        self.stats.record_pointer_moves(self.n_rows)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "mat" if self.materialized else "virt"
+        return f"<ProjectedArray {self.name} {self.shape} {kind} held={self.n_held}>"

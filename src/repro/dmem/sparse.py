@@ -1,0 +1,290 @@
+"""Sparse matrices in the paper's vector-of-lists format (Section 4.1.2).
+
+Each local row is a list of ``(column id, value)`` pairs — data *and*
+metadata together, which is what lets Dyn-MPI redistribute sparse
+matrices automatically.  The layout mirrors the dense 2-d projection:
+the extended row is a linked list instead of a vector, so rows move
+between nodes whole, get *packed into a vector* for the wire, and are
+*unpacked back into a list* on receipt (paper Section 4.4).
+
+For user convenience the paper provides an iterator API (get next
+element / set next element / advance row / move to first element);
+:class:`SparseIterator` reproduces it.  The paper also notes the
+efficiency remedy for list traversal — copy into a custom format
+between redistributions; :meth:`SparseMatrix.csr_rows` provides that
+conversion (a CSR snapshot of a row range) and the CG application uses
+it exactly as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AllocationError
+from .allocator import AllocStats
+
+__all__ = ["SparseMatrix", "SparseIterator"]
+
+#: accounting bytes per stored element: 8B value + 4B column id +
+#: list-node overhead (next pointer + allocator slack)
+ELEM_STORE_BYTES = 8 + 4 + 20
+#: wire bytes per element: value + column id only
+ELEM_WIRE_BYTES = 8 + 4
+#: wire bytes per packed row header (row id + count)
+ROW_WIRE_BYTES = 8
+
+
+class SparseMatrix:
+    """A distributed sparse matrix, vector of lists of (col, val)."""
+
+    def __init__(self, name: str, shape: tuple[int, int], dtype=np.float64):
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if n_rows <= 0 or n_cols <= 0:
+            raise AllocationError(f"invalid sparse shape {shape}")
+        self.name = name
+        self.shape = (n_rows, n_cols)
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        self.dtype = np.dtype(dtype)
+        self.stats = AllocStats()
+        self._rows: dict[int, list[list]] = {}  # g -> [[col, val], ...]
+        self._csr_version = 0
+
+    # ------------------------------------------------------------------
+    # row lifecycle
+    # ------------------------------------------------------------------
+    def _check_row(self, g: int) -> None:
+        if not (0 <= g < self.n_rows):
+            raise AllocationError(f"{self.name}: row {g} out of range [0,{self.n_rows})")
+
+    def _check_col(self, c: int) -> None:
+        if not (0 <= c < self.n_cols):
+            raise AllocationError(f"{self.name}: column {c} out of range [0,{self.n_cols})")
+
+    def hold(self, rows: Iterable[int]) -> int:
+        added = 0
+        for g in rows:
+            self._check_row(g)
+            if g not in self._rows:
+                self._rows[g] = []
+                self.stats.record_alloc(0)
+                added += 1
+        if added:
+            self._csr_version += 1
+        return added
+
+    def drop(self, rows: Iterable[int]) -> int:
+        dropped = 0
+        for g in rows:
+            row = self._rows.pop(g, None)
+            if row is not None:
+                self.stats.record_free(len(row) * ELEM_STORE_BYTES)
+                dropped += 1
+        if dropped:
+            self._csr_version += 1
+        return dropped
+
+    def holds(self, g: int) -> bool:
+        return g in self._rows
+
+    def held_rows(self) -> list[int]:
+        return sorted(self._rows)
+
+    @property
+    def n_held(self) -> int:
+        return len(self._rows)
+
+    @property
+    def held_nbytes(self) -> int:
+        return sum(len(r) for r in self._rows.values()) * ELEM_STORE_BYTES
+
+    def row_nnz(self, g: int) -> int:
+        return len(self._row(g))
+
+    def row_wire_nbytes(self, g: int) -> int:
+        return ROW_WIRE_BYTES + self.row_nnz(g) * ELEM_WIRE_BYTES
+
+    def _row(self, g: int) -> list[list]:
+        self._check_row(g)
+        try:
+            return self._rows[g]
+        except KeyError:
+            raise AllocationError(f"{self.name}: row {g} is not held locally") from None
+
+    # ------------------------------------------------------------------
+    # element access
+    # ------------------------------------------------------------------
+    def get(self, g: int, col: int) -> float:
+        self._check_col(col)
+        for c, v in self._row(g):
+            if c == col:
+                return v
+        return 0.0
+
+    def set(self, g: int, col: int, value) -> None:
+        """Set element (g, col); appends if absent, removes on 0.0."""
+        self._check_col(col)
+        row = self._row(g)
+        for item in row:
+            if item[0] == col:
+                if value == 0.0:
+                    row.remove(item)
+                    self.stats.record_free(ELEM_STORE_BYTES)
+                else:
+                    item[1] = value
+                self._csr_version += 1
+                return
+        if value != 0.0:
+            row.append([col, value])
+            self.stats.record_alloc(ELEM_STORE_BYTES)
+            self._csr_version += 1
+
+    def set_row_items(self, g: int, cols: Sequence[int], vals: Sequence[float]) -> None:
+        """Replace row ``g`` wholesale (bulk build)."""
+        if len(cols) != len(vals):
+            raise AllocationError("cols/vals length mismatch")
+        for c in cols:
+            self._check_col(int(c))
+        row = self._row(g)
+        self.stats.record_free(len(row) * ELEM_STORE_BYTES)
+        row.clear()
+        for c, v in zip(cols, vals):
+            row.append([int(c), float(v)])
+        self.stats.record_alloc(len(row) * ELEM_STORE_BYTES)
+        self._csr_version += 1
+
+    def row_items(self, g: int) -> list[tuple[int, float]]:
+        return [(c, v) for c, v in self._row(g)]
+
+    def iterator(self, g: Optional[int] = None) -> "SparseIterator":
+        """The paper's row iterator; starts at row ``g`` (default:
+        first held row)."""
+        return SparseIterator(self, g)
+
+    # ------------------------------------------------------------------
+    # redistribution support
+    # ------------------------------------------------------------------
+    def pack(self, rows: Sequence[int]):
+        """Pack ``rows`` into vectors for a single message.
+
+        Returns ``(payload, nbytes)`` where payload is a dict of numpy
+        arrays: ``row_ptr`` (len k+1), ``cols``, ``vals`` — the
+        list-to-vector conversion of paper Section 4.4.
+        """
+        k = len(rows)
+        row_ptr = np.zeros(k + 1, dtype=np.int64)
+        total = 0
+        for i, g in enumerate(rows):
+            total += len(self._row(g))
+            row_ptr[i + 1] = total
+        cols = np.empty(total, dtype=np.int32)
+        vals = np.empty(total, dtype=self.dtype)
+        pos = 0
+        for g in rows:
+            for c, v in self._row(g):
+                cols[pos] = c
+                vals[pos] = v
+                pos += 1
+        nbytes = k * ROW_WIRE_BYTES + total * ELEM_WIRE_BYTES
+        self.stats.record_copy(total * ELEM_WIRE_BYTES)
+        return {"row_ptr": row_ptr, "cols": cols, "vals": vals}, nbytes
+
+    def unpack(self, rows: Sequence[int], payload) -> None:
+        """Install a packed payload, converting vectors back to lists."""
+        if payload is None:
+            raise AllocationError(f"{self.name}: sparse unpack needs a payload")
+        row_ptr = payload["row_ptr"]
+        cols = payload["cols"]
+        vals = payload["vals"]
+        if len(row_ptr) != len(rows) + 1:
+            raise AllocationError(f"{self.name}: row_ptr/rows mismatch")
+        self.hold(rows)
+        for i, g in enumerate(rows):
+            lo, hi = int(row_ptr[i]), int(row_ptr[i + 1])
+            self.set_row_items(g, cols[lo:hi], vals[lo:hi])
+        self._csr_version += 1
+
+    def retarget(self, keep: Iterable[int]) -> None:
+        """Drop rows outside ``keep``; pointer-vector rewrite, matching
+        :meth:`ProjectedArray.retarget`."""
+        keep = set(keep)
+        for g in keep:
+            self._check_row(g)
+        self.drop([g for g in self._rows if g not in keep])
+        self.stats.record_pointer_moves(self.n_rows)
+
+    # ------------------------------------------------------------------
+    # custom-format escape hatch (paper Section 4.4, last paragraph)
+    # ------------------------------------------------------------------
+    def csr_rows(self, rows: Sequence[int]):
+        """A CSR snapshot (indptr, cols, vals) of ``rows``, for fast
+        traversal between redistributions.  Check
+        :attr:`csr_version` to know when a snapshot is stale."""
+        payload, _ = self.pack(rows)
+        return payload["row_ptr"], payload["cols"], payload["vals"]
+
+    @property
+    def csr_version(self) -> int:
+        return self._csr_version
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<SparseMatrix {self.name} {self.shape} held={self.n_held}>"
+
+
+class SparseIterator:
+    """The paper's sparse accessor: get-next / set-next / advance-row /
+    move-to-first."""
+
+    def __init__(self, matrix: SparseMatrix, row: Optional[int] = None):
+        self.matrix = matrix
+        held = matrix.held_rows()
+        if not held:
+            raise AllocationError(f"{matrix.name}: no held rows to iterate")
+        self._held = held
+        if row is None:
+            row = held[0]
+        if row not in matrix._rows:
+            raise AllocationError(f"{matrix.name}: row {row} is not held locally")
+        self._row_pos = held.index(row)
+        self._elem_pos = 0
+
+    @property
+    def row(self) -> int:
+        return self._held[self._row_pos]
+
+    def has_next(self) -> bool:
+        """True if the current row has another element."""
+        return self._elem_pos < len(self.matrix._rows[self.row])
+
+    def next(self) -> tuple[int, float]:
+        """Return the next (col, value) of the current row and advance."""
+        row = self.matrix._rows[self.row]
+        if self._elem_pos >= len(row):
+            raise AllocationError("iterator exhausted; advance_row or rewind")
+        c, v = row[self._elem_pos]
+        self._elem_pos += 1
+        return c, v
+
+    def set_next(self, value: float) -> None:
+        """Overwrite the value of the element ``next()`` would return,
+        without advancing."""
+        row = self.matrix._rows[self.row]
+        if self._elem_pos >= len(row):
+            raise AllocationError("iterator exhausted; nothing to set")
+        row[self._elem_pos][1] = float(value)
+        self.matrix._csr_version += 1
+
+    def advance_row(self) -> bool:
+        """Move to the start of the next held row; False at the end."""
+        if self._row_pos + 1 >= len(self._held):
+            return False
+        self._row_pos += 1
+        self._elem_pos = 0
+        return True
+
+    def rewind(self) -> None:
+        """Back to the first element of the first held row."""
+        self._row_pos = 0
+        self._elem_pos = 0

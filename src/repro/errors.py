@@ -1,0 +1,56 @@
+"""Exception hierarchy for the Dyn-MPI reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked.
+
+    This is the simulated analogue of an MPI job hanging: every live
+    process is waiting on a message or event that can never arrive.
+    """
+
+    def __init__(self, blocked: list[str]):
+        self.blocked = list(blocked)
+        names = ", ".join(blocked) or "<none>"
+        super().__init__(f"simulation deadlock; blocked processes: {names}")
+
+
+class MPIError(ReproError):
+    """Misuse of the simulated MPI layer (bad rank, tag, truncation...)."""
+
+
+class TruncationError(MPIError):
+    """A received message was larger than the posted receive buffer."""
+
+
+class RegistrationError(ReproError):
+    """Invalid Dyn-MPI array/phase registration."""
+
+
+class DistributionError(ReproError):
+    """An invalid data distribution was constructed or requested."""
+
+
+class RedistributionError(ReproError):
+    """Data redistribution could not be scheduled or applied."""
+
+
+class AllocationError(ReproError):
+    """Invalid operation on a managed (dense/sparse) matrix."""
+
+
+class ConfigError(ReproError):
+    """Invalid cluster/network/runtime configuration."""

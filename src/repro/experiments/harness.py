@@ -1,0 +1,101 @@
+"""Experiment harness: scenario runners shared by the figure modules.
+
+Scaling: every experiment accepts ``scale`` (default from the
+``DYNMPI_BENCH_SCALE`` environment variable, 1.0 = paper sizes).
+Linear problem dimensions and iteration counts are scaled so quick
+regression runs preserve the figures' *shape*; EXPERIMENTS.md records
+results at scale 1.0.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..apps import AppResult, run_program
+from ..config import ClusterSpec, RuntimeSpec, pentium_cluster, ultrasparc_cluster
+from ..simcluster import Cluster, CycleTrigger, LoadScript, single_competitor
+
+__all__ = [
+    "bench_scale",
+    "scaled",
+    "scaled_spec",
+    "Scenario",
+    "run_scenario",
+    "steady_state_cycle_time",
+]
+
+
+def bench_scale(default: float = 1.0) -> float:
+    """The global bench scale from ``DYNMPI_BENCH_SCALE``."""
+    raw = os.environ.get("DYNMPI_BENCH_SCALE", "")
+    if not raw:
+        return default
+    value = float(raw)
+    if not (0.0 < value <= 1.0):
+        raise ValueError(f"DYNMPI_BENCH_SCALE must be in (0, 1], got {value}")
+    return value
+
+
+def scaled(value: int, scale: float, minimum: int = 4) -> int:
+    """Scale a linear dimension / iteration count, with a floor."""
+    return max(minimum, int(round(value * scale)))
+
+
+def scaled_spec(base: RuntimeSpec, scale: float) -> RuntimeSpec:
+    """Adapt runtime cadences to a scaled-down problem.
+
+    Phase-cycle time shrinks roughly with the square of the linear
+    scale (fewer rows x shorter rows), so the 1 Hz daemon of the paper
+    would sleep through an entire scaled run; its interval is scaled
+    accordingly (floored at 1 ms).  Grace periods are counted in
+    cycles and need no adjustment.
+    """
+    if scale >= 1.0:
+        return base
+    interval = max(0.001, base.daemon_interval * scale * scale)
+    return replace(base, daemon_interval=interval)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One application run: cluster + load + runtime policy."""
+
+    name: str
+    cluster_spec: ClusterSpec
+    program: Callable
+    cfg: object
+    spec: RuntimeSpec = field(default_factory=RuntimeSpec)
+    adaptive: bool = True
+    load_script: Optional[LoadScript] = None
+
+    def run(self) -> AppResult:
+        cluster = Cluster(self.cluster_spec)
+        return run_program(
+            cluster,
+            self.program,
+            self.cfg,
+            spec=self.spec,
+            adaptive=self.adaptive,
+            load_script=self.load_script,
+        )
+
+
+def run_scenario(scenario: Scenario) -> AppResult:
+    return scenario.run()
+
+
+def steady_state_cycle_time(result: AppResult, *, tail_frac: float = 0.25) -> float:
+    """Mean cycle time over the last ``tail_frac`` of the run (after
+    all adaptation events), averaged over the ranks that are still
+    participating (non-empty cycle time lists)."""
+    means = []
+    for ct in result.cycle_times:
+        if not ct:
+            continue
+        k = max(1, int(len(ct) * tail_frac))
+        means.append(float(np.mean(ct[-k:])))
+    return float(np.mean(means)) if means else float("nan")

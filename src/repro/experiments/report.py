@@ -1,0 +1,39 @@
+"""ASCII table rendering for experiment output, so each bench prints
+the same rows/series the paper's figure reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "print_table"]
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "-"
+        if abs(cell) >= 100 or (cell == int(cell) and abs(cell) < 1e6):
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(headers, rows, title: str = "") -> None:
+    print()
+    print(format_table(headers, rows, title))

@@ -1,0 +1,34 @@
+"""MPI-like message passing over the simulated cluster.
+
+Point-to-point semantics, tags with wildcards, non-blocking requests,
+and the standard collective algorithms, with CPU + wire costs drawn
+from the cluster's network model.
+"""
+
+from . import collectives
+from .comm import Endpoint, Request, SimComm
+from .datatypes import LAND, LOR, MAX, MIN, PROD, SUM, ReduceOp, payload_nbytes
+from .group import Group
+from .launcher import make_comm, run_spmd
+from .status import ANY_SOURCE, ANY_TAG, Status
+
+__all__ = [
+    "SimComm",
+    "Endpoint",
+    "Request",
+    "Group",
+    "Status",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "SUM",
+    "MAX",
+    "MIN",
+    "PROD",
+    "LAND",
+    "LOR",
+    "ReduceOp",
+    "payload_nbytes",
+    "collectives",
+    "run_spmd",
+    "make_comm",
+]

@@ -1,0 +1,396 @@
+"""Point-to-point message passing over the simulated cluster.
+
+A :class:`SimComm` binds a set of ranks to cluster nodes; each rank's
+program talks through its :class:`Endpoint`.  All endpoint operations
+that take time are generators meant to be driven with ``yield from``::
+
+    def program(ep):
+        if ep.rank == 0:
+            yield from ep.send(1, tag=7, payload=np.arange(4.0))
+        else:
+            data, status = yield from ep.recv(0, tag=7)
+
+Cost model (per message):
+
+* sender CPU: ``cpu_per_msg + nbytes * cpu_per_byte`` work units,
+  charged as ordinary :class:`Compute` so it competes with the
+  application and with competing processes — this is the Section 4.3
+  effect;
+* wire: latency + serialized bandwidth (see
+  :class:`~repro.simcluster.network.Network`);
+* receiver CPU: same as sender, charged when the message is consumed.
+
+Messages at or below the eager threshold complete at the sender once
+injected; larger messages use a rendezvous (RTS → CTS → data) and the
+sender blocks until the data transfer completes, which matches
+synchronous-mode large sends in common MPI implementations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Generator, Optional
+
+import numpy as np
+
+from ..errors import MPIError
+from ..simcluster import Cluster, Compute, Signal, Wait
+from .datatypes import payload_nbytes
+from .status import ANY_SOURCE, ANY_TAG, Status
+
+__all__ = ["SimComm", "Endpoint", "Request"]
+
+#: wire size of RTS/CTS control messages
+_CTRL_BYTES = 64
+
+
+class _Envelope:
+    __slots__ = (
+        "src", "dst", "tag", "payload", "nbytes",
+        "rendezvous", "data_ready", "data_signal", "sent_signal", "seq",
+    )
+
+    def __init__(self, src: int, dst: int, tag: int, payload: Any, nbytes: int):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.payload = payload
+        self.nbytes = nbytes
+        self.rendezvous = False
+        self.data_ready = True
+        self.data_signal: Optional[Signal] = None
+        self.sent_signal: Optional[Signal] = None
+        self.seq = 0
+
+    def matches(self, source: int, tag: int) -> bool:
+        return (source in (ANY_SOURCE, self.src)) and (tag in (ANY_TAG, self.tag))
+
+
+class _PendingRecv:
+    __slots__ = ("source", "tag", "signal")
+
+    def __init__(self, source: int, tag: int, signal: Signal):
+        self.source = source
+        self.tag = tag
+        self.signal = signal
+
+
+class Request:
+    """Handle for a non-blocking operation; drive with ``yield from
+    req.wait()``."""
+
+    def __init__(self, ep: "Endpoint"):
+        self._ep = ep
+        self._done = False
+        self._value: Any = None
+        self._signal: Optional[Signal] = None
+
+    def _complete(self, value: Any) -> None:
+        self._done = True
+        self._value = value
+        if self._signal is not None and not self._signal.fired:
+            self._signal.fire(value)
+
+    def test(self) -> bool:
+        return self._done
+
+    def wait(self) -> Generator:
+        if not self._done:
+            if self._signal is None:
+                self._signal = self._ep.comm.sim.signal("req")
+                if self._done:  # completed in between (defensive)
+                    self._signal.fire(self._value)
+            value = yield Wait(self._signal)
+            return value
+        return self._value
+        yield  # pragma: no cover - keeps this a generator
+
+
+class SimComm:
+    """A communicator: ``size`` ranks placed on cluster nodes."""
+
+    def __init__(self, cluster: Cluster, rank_to_node: list[int]):
+        if not rank_to_node:
+            raise MPIError("communicator needs at least one rank")
+        for node in rank_to_node:
+            if not (0 <= node < cluster.n_nodes):
+                raise MPIError(f"rank mapped to invalid node {node}")
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.net = cluster.network
+        self.rank_to_node = list(rank_to_node)
+        self.size = len(rank_to_node)
+        self._mailboxes: list[list[_Envelope]] = [[] for _ in range(self.size)]
+        self._pending: list[list[_PendingRecv]] = [[] for _ in range(self.size)]
+        self._endpoints = [Endpoint(self, r) for r in range(self.size)]
+        self._seq = itertools.count()
+
+    def endpoint(self, rank: int) -> "Endpoint":
+        if not (0 <= rank < self.size):
+            raise MPIError(f"bad rank {rank} (size {self.size})")
+        return self._endpoints[rank]
+
+    def node_of(self, rank: int) -> int:
+        return self.rank_to_node[rank]
+
+    # ------------------------------------------------------------------
+    # delivery plumbing (runs inside network callbacks)
+    # ------------------------------------------------------------------
+    def _deliver(self, env: _Envelope) -> None:
+        pending = self._pending[env.dst]
+        for i, req in enumerate(pending):
+            if env.matches(req.source, req.tag):
+                del pending[i]
+                req.signal.fire(env)
+                return
+        self._mailboxes[env.dst].append(env)
+
+    def _try_match(self, rank: int, source: int, tag: int) -> Optional[_Envelope]:
+        box = self._mailboxes[rank]
+        for i, env in enumerate(box):
+            if env.matches(source, tag):
+                del box[i]
+                return env
+        return None
+
+
+class Endpoint:
+    """One rank's view of a :class:`SimComm`.
+
+    The process driving an endpoint must live on the node the rank is
+    mapped to; the launcher guarantees this.
+    """
+
+    def __init__(self, comm: SimComm, rank: int):
+        self.comm = comm
+        self.rank = rank
+        self.node_id = comm.node_of(rank)
+
+    # ------------------------------------------------------------------
+    # blocking point-to-point
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        dest: int,
+        tag: int = 0,
+        payload: Any = None,
+        nbytes: Optional[int] = None,
+    ) -> Generator:
+        """Blocking send.  Eager below the threshold, rendezvous above."""
+        comm = self.comm
+        if not (0 <= dest < comm.size):
+            raise MPIError(f"send to invalid rank {dest}")
+        nbytes = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        payload = _detach(payload)
+
+        env = _Envelope(self.rank, dest, tag, payload, nbytes)
+        env.seq = next(comm._seq)
+        yield Compute(comm.net.cpu_cost(nbytes))
+
+        if nbytes <= comm.net.spec.eager_threshold:
+            comm.net.transmit(
+                self.node_id, comm.node_of(dest), nbytes,
+                lambda: comm._deliver(env),
+            )
+            return None
+
+        # rendezvous: send RTS, block until the receiver has matched and
+        # the data transfer has completed.
+        env.rendezvous = True
+        env.data_ready = False
+        env.data_signal = comm.sim.signal(f"rdv-data:{self.rank}->{dest}:{tag}")
+        env.sent_signal = comm.sim.signal(f"rdv-sent:{self.rank}->{dest}:{tag}")
+        comm.net.transmit(
+            self.node_id, comm.node_of(dest), _CTRL_BYTES,
+            lambda: comm._deliver(env),
+        )
+        yield Wait(env.sent_signal)
+        return None
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+    ) -> Generator:
+        """Blocking receive; returns ``(payload, Status)``.
+
+        In ``recv_mode="polling"`` the receiver busy-waits: it burns
+        CPU in poll chunks and only notices the message when it next
+        holds the CPU — so on a loaded node an arrived message can sit
+        unnoticed for several competing quanta, exactly the ch_p4
+        behavior behind the paper's node-removal results.
+        """
+        comm = self.comm
+        env = comm._try_match(self.rank, source, tag)
+        if env is None:
+            if comm.net.spec.recv_mode == "polling":
+                node = comm.cluster.nodes[self.node_id]
+                chunk = node.spec.quantum * 0.01 * node.spec.speed
+                while True:
+                    yield Compute(chunk)
+                    env = comm._try_match(self.rank, source, tag)
+                    if env is not None:
+                        break
+            else:
+                sig = comm.sim.signal(f"recv:{self.rank}")
+                comm._pending[self.rank].append(_PendingRecv(source, tag, sig))
+                env = yield Wait(sig)
+        if env.rendezvous and not env.data_ready:
+            yield from self._pull_rendezvous(env)
+        yield Compute(comm.net.cpu_cost(env.nbytes))
+        return env.payload, Status(env.src, env.tag, env.nbytes)
+
+    def _pull_rendezvous(self, env: _Envelope) -> Generator:
+        """CTS back to the sender, then wait for the bulk data."""
+        comm = self.comm
+        src_node = comm.node_of(env.src)
+
+        def on_cts() -> None:
+            # sender starts the bulk transfer on CTS arrival
+            comm.net.transmit(
+                src_node, self.node_id, env.nbytes,
+                lambda: _finish_rendezvous(env),
+            )
+
+        def _finish_rendezvous(env: _Envelope) -> None:
+            env.data_ready = True
+            env.data_signal.fire(None)
+            env.sent_signal.fire(None)
+
+        comm.net.transmit(self.node_id, src_node, _CTRL_BYTES, on_cts)
+        yield Wait(env.data_signal)
+
+    def sendrecv(
+        self,
+        dest: int,
+        send_tag: int,
+        payload: Any,
+        source: int,
+        recv_tag: int,
+        nbytes: Optional[int] = None,
+    ) -> Generator:
+        """Combined send+recv without deadlock (send first, non-blocking
+        semantics through eager/rendezvous machinery)."""
+        sreq = self.isend(dest, send_tag, payload, nbytes=nbytes)
+        result = yield from self.recv(source, recv_tag)
+        yield from sreq.wait()
+        return result
+
+    # ------------------------------------------------------------------
+    # non-blocking
+    # ------------------------------------------------------------------
+    def isend(
+        self,
+        dest: int,
+        tag: int = 0,
+        payload: Any = None,
+        nbytes: Optional[int] = None,
+    ) -> Request:
+        """Non-blocking send.  CPU cost is charged on ``wait()``
+        completion for rendezvous messages and immediately queued for
+        eager ones."""
+        comm = self.comm
+        if not (0 <= dest < comm.size):
+            raise MPIError(f"send to invalid rank {dest}")
+        nbytes = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        payload = _detach(payload)
+        env = _Envelope(self.rank, dest, tag, payload, nbytes)
+        env.seq = next(comm._seq)
+        req = Request(self)
+
+        # The CPU cost of injecting is charged through a shadow compute
+        # job on this rank's node: it contends for the CPU without
+        # blocking the caller, approximating kernel/DMA offload under
+        # load.
+        node = comm.cluster.nodes[self.node_id]
+
+        def after_cpu() -> None:
+            if nbytes <= comm.net.spec.eager_threshold:
+                comm.net.transmit(
+                    self.node_id, comm.node_of(dest), nbytes,
+                    lambda: (comm._deliver(env), req._complete(None)),
+                )
+            else:
+                env.rendezvous = True
+                env.data_ready = False
+                env.data_signal = comm.sim.signal("irdv-data")
+                env.sent_signal = comm.sim.signal("irdv-sent")
+                env.sent_signal.add_waiter(lambda _v: req._complete(None))
+                comm.net.transmit(
+                    self.node_id, comm.node_of(dest), _CTRL_BYTES,
+                    lambda: comm._deliver(env),
+                )
+
+        shadow = _ShadowProc(f"isend:{self.rank}->{dest}")
+        node.cpu.submit(shadow, comm.net.cpu_cost(nbytes), after_cpu)
+        return req
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Non-blocking receive; ``wait()`` returns ``(payload, Status)``."""
+        comm = self.comm
+        req = Request(self)
+        env = comm._try_match(self.rank, source, tag)
+
+        def finish(env: _Envelope) -> None:
+            if env.rendezvous and not env.data_ready:
+                # complete the handshake from a callback context
+                src_node = comm.node_of(env.src)
+
+                def on_cts() -> None:
+                    comm.net.transmit(
+                        src_node, self.node_id, env.nbytes,
+                        lambda: done(env),
+                    )
+
+                def done(env: _Envelope) -> None:
+                    env.data_ready = True
+                    env.data_signal.fire(None)
+                    env.sent_signal.fire(None)
+                    req._complete((env.payload, Status(env.src, env.tag, env.nbytes)))
+
+                comm.net.transmit(self.node_id, src_node, _CTRL_BYTES, on_cts)
+            else:
+                req._complete((env.payload, Status(env.src, env.tag, env.nbytes)))
+
+        if env is not None:
+            finish(env)
+        else:
+            sig = comm.sim.signal(f"irecv:{self.rank}")
+            comm._pending[self.rank].append(_PendingRecv(source, tag, sig))
+            sig.add_waiter(finish)
+        return req
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Status]:
+        """Non-blocking probe: Status of the first matching queued
+        message, or None.  Costs nothing (a poll)."""
+        for env in self.comm._mailboxes[self.rank]:
+            if env.matches(source, tag):
+                return Status(env.src, env.tag, env.nbytes)
+        return None
+
+    # convenience -----------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Endpoint rank={self.rank}/{self.size} node={self.node_id}>"
+
+
+class _ShadowProc:
+    """Phantom schedulable entity for offloaded (isend) CPU charges."""
+
+    __slots__ = ("name", "state", "cpu_time")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.state = "ready"
+        self.cpu_time = 0.0
+
+
+def _detach(payload: Any) -> Any:
+    """Copy mutable numpy buffers so post-send mutation by the sender
+    cannot corrupt in-flight messages (MPI buffer semantics)."""
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    return payload

@@ -1,0 +1,102 @@
+"""Datatype helpers and reduction operators for the simulated MPI.
+
+Message sizes drive the network model, so every payload needs a byte
+count.  NumPy arrays report exactly; other Python objects get a
+conservative structural estimate (the simulated analogue of pickling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MPIError
+
+__all__ = ["payload_nbytes", "SUM", "MAX", "MIN", "PROD", "LAND", "LOR", "ReduceOp"]
+
+#: bytes charged for a message's envelope/header
+HEADER_BYTES = 64
+
+
+def payload_nbytes(payload) -> int:
+    """Estimate the on-wire size of ``payload`` in bytes."""
+    if payload is None:
+        return HEADER_BYTES
+    if isinstance(payload, np.ndarray):
+        return HEADER_BYTES + payload.nbytes
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return HEADER_BYTES + len(payload)
+    if isinstance(payload, (bool, int, float, complex, np.generic)):
+        return HEADER_BYTES + 8
+    if isinstance(payload, str):
+        return HEADER_BYTES + len(payload)
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return HEADER_BYTES + sum(payload_nbytes(x) - HEADER_BYTES + 8 for x in payload)
+    if isinstance(payload, dict):
+        return HEADER_BYTES + sum(
+            payload_nbytes(k) + payload_nbytes(v) - 2 * HEADER_BYTES + 16
+            for k, v in payload.items()
+        )
+    if hasattr(payload, "nbytes"):
+        return HEADER_BYTES + int(payload.nbytes)
+    # opaque object: charge a flat struct size
+    return HEADER_BYTES + 128
+
+
+class ReduceOp:
+    """A named, associative reduction operator."""
+
+    def __init__(self, name: str, fn):
+        self.name = name
+        self.fn = fn
+
+    def __call__(self, a, b):
+        return self.fn(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ReduceOp {self.name}>"
+
+
+def _sum(a, b):
+    return a + b
+
+
+def _max(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.maximum(a, b)
+    return max(a, b)
+
+
+def _min(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.minimum(a, b)
+    return min(a, b)
+
+
+def _prod(a, b):
+    return a * b
+
+
+def _land(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.logical_and(a, b)
+    return bool(a) and bool(b)
+
+
+def _lor(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.logical_or(a, b)
+    return bool(a) or bool(b)
+
+
+SUM = ReduceOp("SUM", _sum)
+MAX = ReduceOp("MAX", _max)
+MIN = ReduceOp("MIN", _min)
+PROD = ReduceOp("PROD", _prod)
+LAND = ReduceOp("LAND", _land)
+LOR = ReduceOp("LOR", _lor)
+
+
+def check_op(op) -> ReduceOp:
+    if not isinstance(op, ReduceOp):
+        raise MPIError(f"reduction op must be a ReduceOp, got {op!r}")
+    return op

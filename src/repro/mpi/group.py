@@ -1,0 +1,69 @@
+"""Rank groups for collectives over subsets of a communicator.
+
+Dyn-MPI removes nodes from the computation, after which collectives
+run over the *active* subset only, addressed by relative rank (paper
+Section 2.2).  A :class:`Group` is an ordered subset of world ranks;
+relative rank = position in the group.
+
+Each group hands out collective sequence numbers per member.  Because
+SPMD programs invoke collectives in the same order on every member,
+the per-member counters agree, giving every logically-single collective
+a common tag without any global coordination.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..errors import MPIError
+
+__all__ = ["Group"]
+
+_GID = itertools.count()
+
+#: tag space reserved for collectives (user tags must stay below this)
+COLL_TAG_BASE = 1 << 30
+_SEQ_MASK = 0xFFFF
+_GID_SHIFT = 16
+
+
+class Group:
+    def __init__(self, ranks: list[int]):
+        ranks = list(ranks)
+        if not ranks:
+            raise MPIError("group must be non-empty")
+        if len(set(ranks)) != len(ranks):
+            raise MPIError(f"duplicate ranks in group: {ranks}")
+        self.ranks = ranks
+        self._index = {r: i for i, r in enumerate(ranks)}
+        self._counters = [0] * len(ranks)
+        self.gid = next(_GID)
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def rel(self, world_rank: int) -> int:
+        """Relative rank of ``world_rank`` in this group."""
+        try:
+            return self._index[world_rank]
+        except KeyError:
+            raise MPIError(f"rank {world_rank} is not in group {self.ranks}") from None
+
+    def world(self, rel_rank: int) -> int:
+        """World rank of relative rank ``rel_rank``."""
+        if not (0 <= rel_rank < self.size):
+            raise MPIError(f"bad relative rank {rel_rank} (group size {self.size})")
+        return self.ranks[rel_rank]
+
+    def __contains__(self, world_rank: int) -> bool:
+        return world_rank in self._index
+
+    def next_tag(self, rel_rank: int) -> int:
+        """Tag for this member's next collective operation."""
+        seq = self._counters[rel_rank]
+        self._counters[rel_rank] += 1
+        return COLL_TAG_BASE + ((self.gid & 0x1FFF) << _GID_SHIFT) + (seq & _SEQ_MASK)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Group {self.ranks}>"

@@ -1,0 +1,22 @@
+"""Receive status and wildcard matching constants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Status"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class Status:
+    """Metadata of a completed receive."""
+
+    source: int
+    tag: int
+    nbytes: int
+
+    def matches(self, source: int, tag: int) -> bool:
+        return (source in (ANY_SOURCE, self.source)) and (tag in (ANY_TAG, self.tag))

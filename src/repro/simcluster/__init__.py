@@ -1,0 +1,46 @@
+"""Simulated non dedicated cluster substrate.
+
+This package replaces the paper's physical testbeds (Section 5) with a
+deterministic discrete-event simulation: nodes with round-robin or
+processor-sharing CPUs, competing background processes, and a
+switched-Ethernet network.  See DESIGN.md Section 2 for the
+substitution argument.
+"""
+
+from .cluster import Cluster
+from .cpu import BackgroundJob, ProcessorSharingCPU, RoundRobinCPU
+from .kernel import ProcState, Signal, Simulator, SimProcess
+from .network import Network
+from .node import Node
+from .rng import StreamRegistry
+from .stats import Recorder
+from .syscalls import Compute, Fork, Sleep, Wait, WaitAny
+from .trace import Message, Slice, Tracer
+from .workload import CycleTrigger, LoadScript, TimeTrigger, single_competitor
+
+__all__ = [
+    "Cluster",
+    "Node",
+    "Network",
+    "Simulator",
+    "SimProcess",
+    "Signal",
+    "ProcState",
+    "Recorder",
+    "StreamRegistry",
+    "RoundRobinCPU",
+    "ProcessorSharingCPU",
+    "BackgroundJob",
+    "Compute",
+    "Sleep",
+    "Wait",
+    "WaitAny",
+    "Fork",
+    "LoadScript",
+    "TimeTrigger",
+    "CycleTrigger",
+    "single_competitor",
+    "Tracer",
+    "Slice",
+    "Message",
+]

@@ -1,0 +1,54 @@
+"""Cluster assembly: simulator + nodes + network + services.
+
+A :class:`Cluster` is the top-level substrate object.  Everything else
+— the MPI layer, the monitoring daemons, the Dyn-MPI runtime — hangs
+off it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import ClusterSpec
+from .kernel import Simulator
+from .network import Network
+from .node import Node
+from .rng import StreamRegistry
+from .stats import Recorder
+from .workload import LoadScript
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    def __init__(self, spec: ClusterSpec):
+        self.spec = spec
+        self.sim = Simulator()
+        self.rng = StreamRegistry(spec.seed)
+        self.nodes = [
+            Node(self.sim, i, spec.node, rng=self.rng.stream(f"cpu{i}"))
+            for i in range(spec.n_nodes)
+        ]
+        self.network = Network(self.sim, spec.network, spec.n_nodes)
+        self.recorder = Recorder()
+        self.load_script: Optional[LoadScript] = None
+
+    @property
+    def n_nodes(self) -> int:
+        return self.spec.n_nodes
+
+    def install_load_script(self, script: LoadScript) -> None:
+        self.load_script = script
+        script.install(self)
+
+    def notify_cycle(self, cycle: int) -> None:
+        """Called by the runtime at phase-cycle boundaries so that
+        cycle-triggered load scripts can fire."""
+        if self.load_script is not None:
+            self.load_script.on_cycle(cycle)
+
+    def competing_counts(self) -> list[int]:
+        return [node.n_competing for node in self.nodes]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Cluster {self.spec.name} n={self.n_nodes} t={self.sim.now:.3f}>"

@@ -1,0 +1,372 @@
+"""Discrete-event simulation kernel.
+
+The kernel owns virtual time and an event heap.  Simulated processes
+are Python generators that yield :mod:`~repro.simcluster.syscalls`
+request objects; the kernel services each request and resumes the
+generator with the result.  CPU scheduling itself lives in
+:mod:`~repro.simcluster.cpu` — the kernel only knows how to park a
+process and wake it later.
+
+Design notes
+------------
+* Events are ``(time, seq, callback)`` triples; ``seq`` is a global
+  monotone counter so simultaneous events run in schedule order and the
+  simulation is fully deterministic.
+* Cancellation is done with tombstones (:class:`Timer` handles), the
+  standard heapq idiom, so cancelling is O(1).
+* Deadlock detection: if the heap drains while registered processes
+  are still blocked, :class:`~repro.errors.DeadlockError` is raised
+  listing them — the simulated analogue of a hung MPI job.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import DeadlockError, SimulationError
+from .syscalls import Compute, Fork, Sleep, Syscall, Wait, WaitAny
+
+__all__ = ["Simulator", "SimProcess", "Signal", "Timer", "ProcState"]
+
+
+class ProcState:
+    """Process lifecycle states (string constants, cheap to compare)."""
+
+    NEW = "new"
+    READY = "ready"      # runnable: on a CPU run queue
+    RUNNING = "running"  # currently holding the CPU slice
+    BLOCKED = "blocked"  # waiting on a signal or sleeping
+    DONE = "done"
+    FAILED = "failed"
+
+
+class Timer:
+    """Handle to a scheduled callback; ``cancel()`` tombstones it."""
+
+    __slots__ = ("cancelled", "fn")
+
+    def __init__(self, fn: Callable[[], None]):
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Signal:
+    """A one-shot waitable condition carrying a value.
+
+    Processes block on a signal with the :class:`~.syscalls.Wait`
+    syscall; :meth:`fire` wakes all waiters at the current time.  A
+    signal may be re-armed with :meth:`reset` (used by mailboxes).
+    """
+
+    __slots__ = ("sim", "fired", "value", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.fired = False
+        self.value: Any = None
+        self._waiters: list[Callable[[Any], None]] = []
+
+    def fire(self, value: Any = None) -> None:
+        if self.fired:
+            raise SimulationError(f"signal {self.name!r} fired twice")
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            self.sim.call_soon(lambda cb=cb: cb(value))
+
+    def reset(self) -> None:
+        self.fired = False
+        self.value = None
+
+    def add_waiter(self, cb: Callable[[Any], None]) -> None:
+        if self.fired:
+            self.sim.call_soon(lambda: cb(self.value))
+        else:
+            self._waiters.append(cb)
+
+    def discard_waiter(self, cb: Callable[[Any], None]) -> None:
+        try:
+            self._waiters.remove(cb)
+        except ValueError:
+            pass
+
+
+class SimProcess:
+    """A simulated process: a generator plus scheduling bookkeeping.
+
+    ``node`` is assigned when the process is registered with a node
+    (see :class:`~repro.simcluster.node.Node`); processes that never
+    compute (pure bookkeeping daemons) may run detached with
+    ``node=None`` but must not yield :class:`Compute`.
+    """
+
+    __slots__ = (
+        "name", "gen", "node", "state", "cpu_time", "result", "error",
+        "done_signal", "sim", "daemon", "_wait_cbs",
+    )
+
+    def __init__(self, name: str, gen: Generator[Syscall, Any, Any], *, daemon: bool = False):
+        self.name = name
+        self.gen = gen
+        self.node = None  # set by Node.attach / launcher
+        self.state = ProcState.NEW
+        self.cpu_time = 0.0  # CPU seconds consumed (the /PROC counter)
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.done_signal: Optional[Signal] = None
+        self.sim: Optional[Simulator] = None
+        self.daemon = daemon
+        self._wait_cbs: list[tuple[Signal, Callable]] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimProcess {self.name} {self.state}>"
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.spawn(my_process_generator(), name="p0")
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Timer]] = []
+        self._seq = 0
+        self.processes: list[SimProcess] = []
+        self.n_events = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # event scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Timer:
+        """Run ``fn`` at ``now + delay``; returns a cancellable handle."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        t = Timer(fn)
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, t))
+        return t
+
+    def call_soon(self, fn: Callable[[], None]) -> Timer:
+        return self.schedule(0.0, fn)
+
+    def signal(self, name: str = "") -> Signal:
+        return Signal(self, name)
+
+    # ------------------------------------------------------------------
+    # processes
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        gen: Generator[Syscall, Any, Any],
+        *,
+        name: str = "proc",
+        node=None,
+        daemon: bool = False,
+    ) -> SimProcess:
+        """Register and start a process at the current time."""
+        proc = SimProcess(name, gen, daemon=daemon)
+        proc.sim = self
+        proc.done_signal = self.signal(f"done:{name}")
+        if node is not None:
+            node.attach(proc)
+        self.processes.append(proc)
+        proc.state = ProcState.READY
+        self.call_soon(lambda: self._resume(proc, None))
+        return proc
+
+    def _resume(self, proc: SimProcess, value: Any) -> None:
+        """Advance ``proc`` by one syscall."""
+        if proc.state in (ProcState.DONE, ProcState.FAILED):
+            return
+        try:
+            request = proc.gen.send(value)
+        except StopIteration as stop:
+            self._finish(proc, stop.value, None)
+            return
+        except BaseException as exc:  # propagate app bugs loudly
+            self._finish(proc, None, exc)
+            raise
+        self._dispatch(proc, request)
+
+    def _throw(self, proc: SimProcess, exc: BaseException) -> None:
+        """Inject an exception into ``proc`` (used for fault injection)."""
+        if proc.state in (ProcState.DONE, ProcState.FAILED):
+            return
+        try:
+            request = proc.gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(proc, stop.value, None)
+            return
+        except BaseException as err:
+            self._finish(proc, None, err)
+            return
+        self._dispatch(proc, request)
+
+    def inject(self, proc: SimProcess, exc: BaseException) -> None:
+        """Fault injection: raise ``exc`` inside ``proc`` at the current
+        simulated time.  The process may catch it (and keep running) or
+        die with it (state FAILED, error recorded) — the simulated
+        equivalent of delivering a fatal signal.
+
+        Note: a process whose current syscall is still outstanding (a
+        pending compute, a message wait) receives the exception
+        immediately; the abandoned syscall's completion is ignored.
+        """
+        self.call_soon(lambda: self._throw(proc, exc))
+
+    def kill(self, proc: SimProcess) -> None:
+        """Terminate ``proc`` immediately (uncatchable)."""
+        def do_kill() -> None:
+            if proc.state in (ProcState.DONE, ProcState.FAILED):
+                return
+            proc.gen.close()
+            self._finish(proc, None, SimulationError(f"{proc.name} killed"))
+        self.call_soon(do_kill)
+
+    def _finish(self, proc: SimProcess, result: Any, error: Optional[BaseException]) -> None:
+        proc.result = result
+        proc.error = error
+        proc.state = ProcState.FAILED if error is not None else ProcState.DONE
+        if proc.node is not None:
+            proc.node.detach(proc)
+        proc.done_signal.fire(result)
+
+    # ------------------------------------------------------------------
+    # syscall dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, proc: SimProcess, request: Syscall) -> None:
+        if isinstance(request, Compute):
+            if proc.node is None:
+                raise SimulationError(
+                    f"process {proc.name} is not attached to a node but asked to compute"
+                )
+            proc.state = ProcState.READY
+            proc.node.cpu.submit(proc, request.work, lambda: self._resume(proc, None))
+        elif isinstance(request, Sleep):
+            proc.state = ProcState.BLOCKED
+            self.schedule(request.duration, lambda: self._wake(proc, None))
+        elif isinstance(request, Wait):
+            proc.state = ProcState.BLOCKED
+            request.signal.add_waiter(lambda v: self._wake(proc, v))
+        elif isinstance(request, WaitAny):
+            proc.state = ProcState.BLOCKED
+            self._wait_any(proc, list(request.signals))
+        elif isinstance(request, Fork):
+            child = request.process
+            child.sim = self
+            child.done_signal = self.signal(f"done:{child.name}")
+            self.processes.append(child)
+            child.state = ProcState.READY
+            self.call_soon(lambda: self._resume(child, None))
+            self.call_soon(lambda: self._resume(proc, child))
+        else:
+            raise SimulationError(
+                f"process {proc.name} yielded a non-syscall: {request!r}"
+            )
+
+    def _wait_any(self, proc: SimProcess, signals: list[Signal]) -> None:
+        done = {"hit": False}
+
+        def make_cb(idx: int):
+            def cb(value: Any) -> None:
+                if done["hit"]:
+                    return
+                done["hit"] = True
+                self._wake(proc, (idx, value))
+            return cb
+
+        for idx, sig in enumerate(signals):
+            sig.add_waiter(make_cb(idx))
+
+    def _wake(self, proc: SimProcess, value: Any) -> None:
+        if proc.state in (ProcState.DONE, ProcState.FAILED):
+            return
+        proc.state = ProcState.READY
+        self._resume(proc, value)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, until: float = float("inf"), max_events: int = 200_000_000) -> float:
+        """Run until the heap drains or ``until`` is reached.
+
+        Returns the final simulated time.  Raises
+        :class:`~repro.errors.DeadlockError` if non-daemon processes
+        remain blocked when no events are left.
+
+        Note that a cluster with competing (infinite-loop) background
+        processes or periodic daemons never drains its heap; use
+        :meth:`run_all` or :meth:`stop` to bound such runs.
+        """
+        self._stopped = False
+        while self._heap and not self._stopped:
+            t, _, timer = self._heap[0]
+            if t > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            if t < self.now - 1e-12:
+                raise SimulationError("time went backwards")
+            self.now = t
+            self.n_events += 1
+            if self.n_events > max_events:
+                raise SimulationError(f"exceeded {max_events} events; runaway simulation?")
+            timer.fn()
+        if not self._stopped:
+            self._check_deadlock()
+        return self.now
+
+    def stop(self) -> None:
+        """Make :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def _check_deadlock(self) -> None:
+        blocked = [
+            p.name
+            for p in self.processes
+            if not p.daemon and p.state not in (ProcState.DONE, ProcState.FAILED)
+        ]
+        if blocked:
+            raise DeadlockError(blocked)
+
+    def run_all(self, procs: Iterable[SimProcess], until: float = float("inf")) -> None:
+        """Run until every process in ``procs`` has finished.
+
+        Stops the event loop as soon as the last target process
+        completes, so clusters with competing background processes or
+        periodic daemons terminate cleanly.
+        """
+        procs = list(procs)
+        pending = {id(p) for p in procs if p.state not in (ProcState.DONE, ProcState.FAILED)}
+
+        def make_cb(proc: SimProcess):
+            def cb(_value) -> None:
+                pending.discard(id(proc))
+                if not pending:
+                    self.stop()
+            return cb
+
+        for p in procs:
+            if id(p) in pending:
+                p.done_signal.add_waiter(make_cb(p))
+        if pending:
+            self.run(until=until)
+        for p in procs:
+            if p.error is not None:
+                raise p.error
+            if p.state != ProcState.DONE:
+                raise SimulationError(f"process {p.name} did not finish (state={p.state})")

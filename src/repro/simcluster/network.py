@@ -1,0 +1,96 @@
+"""Switched-Ethernet network model.
+
+Message cost decomposes exactly the way the paper's Section 4.3
+argues it must:
+
+* **wire time** — ``latency + nbytes / bandwidth``, serialized on the
+  sender's and receiver's NIC links (a switched network forwards at
+  link rate, so concurrent senders to one receiver queue on the
+  receiver's link);
+* **CPU time** — ``cpu_per_msg + nbytes * cpu_per_byte`` work units
+  charged *by the MPI layer* on each side.  The CPU component is what
+  makes naive relative-power distributions suboptimal, because a
+  loaded node pays for communication with CPU it does not have.
+
+The network object itself only models wire time and delivery ordering;
+CPU charging happens in :mod:`repro.mpi.comm` so that the overlap of
+computation and communication follows from process scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..config import NetworkSpec
+from ..errors import SimulationError
+from .kernel import Simulator
+
+__all__ = ["Network"]
+
+#: local (same-node) copies run at this multiple of the link bandwidth
+_LOCAL_SPEEDUP = 20.0
+_LOCAL_LATENCY = 1e-6
+
+
+class Network:
+    """Star topology through a single non-blocking switch."""
+
+    def __init__(self, sim: Simulator, spec: NetworkSpec, n_nodes: int):
+        if n_nodes < 1:
+            raise SimulationError("network needs at least one node")
+        self.sim = sim
+        self.spec = spec
+        self.n_nodes = n_nodes
+        self._out_free = [0.0] * n_nodes
+        self._in_free = [0.0] * n_nodes
+        self.n_messages = 0
+        self.n_bytes = 0
+
+    def cpu_cost(self, nbytes: int) -> float:
+        """CPU work units one endpoint spends handling a message."""
+        return self.spec.cpu_per_msg + nbytes * self.spec.cpu_per_byte
+
+    def wire_time(self, nbytes: int) -> float:
+        """Uncontended one-way wire time for a message of ``nbytes``."""
+        return self.spec.latency + nbytes / self.spec.bandwidth
+
+    def transmit(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        on_delivered: Callable[[], None],
+    ) -> float:
+        """Schedule delivery of a message; returns the delivery time.
+
+        ``on_delivered`` fires when the last byte reaches ``dst``.
+        """
+        if not (0 <= src < self.n_nodes and 0 <= dst < self.n_nodes):
+            raise SimulationError(f"bad endpoints {src}->{dst}")
+        if nbytes < 0:
+            raise SimulationError(f"negative message size {nbytes}")
+        now = self.sim.now
+        self.n_messages += 1
+        self.n_bytes += nbytes
+
+        if src == dst:
+            deliver = now + _LOCAL_LATENCY + nbytes / (self.spec.bandwidth * _LOCAL_SPEEDUP)
+            self.sim.schedule(deliver - now, on_delivered)
+            return deliver
+
+        tx = nbytes / self.spec.bandwidth
+        send_start = max(now, self._out_free[src])
+        send_end = send_start + tx
+        self._out_free[src] = send_end
+        arrive_start = send_start + self.spec.latency
+        recv_start = max(arrive_start, self._in_free[dst])
+        deliver = recv_start + tx
+        self._in_free[dst] = deliver
+        self.sim.schedule(deliver - now, on_delivered)
+        return deliver
+
+    def sender_free_time(self, src: int, nbytes: int) -> float:
+        """Time at which ``src``'s NIC would finish injecting a message
+        sent now (used for eager-send completion semantics)."""
+        tx = nbytes / self.spec.bandwidth
+        return max(self.sim.now, self._out_free[src]) + tx

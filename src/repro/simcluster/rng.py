@@ -1,0 +1,49 @@
+"""Deterministic named random streams.
+
+Every stochastic element of the simulation (scheduler arrival jitter,
+workload traces, application initial conditions) draws from its own
+named stream derived from the cluster seed, so results are reproducible
+and independent of the order in which subsystems consume randomness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StreamRegistry"]
+
+
+class StreamRegistry:
+    """Hands out independent :class:`numpy.random.Generator` streams.
+
+    Streams are keyed by name; the same (seed, name) pair always yields
+    the same sequence regardless of creation order.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the stream for ``name``, creating it on first use."""
+        gen = self._streams.get(name)
+        if gen is None:
+            ss = np.random.SeedSequence(self._seed, spawn_key=(_stable_hash(name),))
+            gen = np.random.default_rng(ss)
+            self._streams[name] = gen
+        return gen
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams
+
+
+def _stable_hash(name: str) -> int:
+    """A hash of ``name`` stable across processes (unlike ``hash``)."""
+    h = 2166136261
+    for byte in name.encode("utf-8"):
+        h = ((h ^ byte) * 16777619) & 0xFFFFFFFF
+    return h

@@ -1,0 +1,55 @@
+"""Lightweight metric recording for simulations.
+
+A :class:`Recorder` collects named counters and (time, value) series.
+It is intentionally dumb — analysis happens in the experiment harness —
+but it is the single place all layers report to, which keeps the
+instrumentation consistent across benches.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["Recorder"]
+
+
+class Recorder:
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = defaultdict(float)
+        self.series: dict[str, list[tuple[float, float]]] = defaultdict(list)
+        self.events: list[tuple[float, str]] = []
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] += amount
+
+    def sample(self, name: str, t: float, value: float) -> None:
+        self.series[name].append((t, value))
+
+    def mark(self, t: float, label: str) -> None:
+        self.events.append((t, label))
+
+    # -- analysis helpers -------------------------------------------------
+    def values(self, name: str) -> np.ndarray:
+        return np.array([v for _, v in self.series.get(name, [])], dtype=float)
+
+    def times(self, name: str) -> np.ndarray:
+        return np.array([t for t, _ in self.series.get(name, [])], dtype=float)
+
+    def mean(self, name: str) -> float:
+        vals = self.values(name)
+        return float(vals.mean()) if vals.size else float("nan")
+
+    def total(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    def merge(self, others: Iterable["Recorder"]) -> "Recorder":
+        for other in others:
+            for k, v in other.counters.items():
+                self.counters[k] += v
+            for k, pts in other.series.items():
+                self.series[k].extend(pts)
+            self.events.extend(other.events)
+        return self

@@ -1,0 +1,148 @@
+"""Execution tracing: what ran where, when.
+
+A :class:`Tracer` attaches to a cluster and records CPU slices (which
+process held which CPU over which interval) and message transmissions.
+It is the debugging instrument used while developing the scheduler and
+the figure experiments, and renders per-node timelines as text::
+
+    n0 |app=======|cp0=====|app==|cp0=====| ...
+
+Attach *before* running; detach to stop recording (the hooks are
+monkeypatch-style wrappers, so tracing costs nothing when unused).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import SimulationError
+from .cluster import Cluster
+from .cpu import RoundRobinCPU
+
+__all__ = ["Slice", "Message", "Tracer"]
+
+
+@dataclass(frozen=True)
+class Slice:
+    node: int
+    proc: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class Message:
+    src: int
+    dst: int
+    nbytes: int
+    sent: float
+    delivered: float
+
+
+class Tracer:
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.slices: list[Slice] = []
+        self.messages: list[Message] = []
+        self._attached = False
+        self._saved = {}
+
+    # ------------------------------------------------------------------
+    def attach(self) -> "Tracer":
+        if self._attached:
+            raise SimulationError("tracer already attached")
+        self._attached = True
+        sim = self.cluster.sim
+
+        for node in self.cluster.nodes:
+            cpu = node.cpu
+            if not isinstance(cpu, RoundRobinCPU):
+                continue
+            orig_account = cpu._account_current
+            state = {"start": None, "proc": None}
+
+            def account(cpu=cpu, node=node, orig=orig_account, state=state):
+                job = cpu._current
+                start = cpu._slice_start
+                elapsed = orig()
+                if job is not None and elapsed > 0:
+                    self.slices.append(Slice(
+                        node.node_id, getattr(job.proc, "name", "?"),
+                        start, start + elapsed,
+                    ))
+                return elapsed
+
+            self._saved[id(cpu)] = orig_account
+            cpu._account_current = account
+
+        net = self.cluster.network
+        orig_transmit = net.transmit
+        self._saved["net"] = orig_transmit
+
+        def transmit(src, dst, nbytes, cb, orig=orig_transmit):
+            sent = sim.now
+            deliver = orig(src, dst, nbytes, cb)
+            self.messages.append(Message(src, dst, nbytes, sent, deliver))
+            return deliver
+
+        net.transmit = transmit
+        return self
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        self._attached = False
+        for node in self.cluster.nodes:
+            cpu = node.cpu
+            orig = self._saved.pop(id(cpu), None)
+            if orig is not None:
+                cpu._account_current = orig
+        net_orig = self._saved.pop("net", None)
+        if net_orig is not None:
+            self.cluster.network.transmit = net_orig
+
+    def __enter__(self) -> "Tracer":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def busy_time(self, node: int, proc_prefix: str = "") -> float:
+        """Total CPU seconds on ``node`` for processes whose name
+        starts with ``proc_prefix`` ('' = everything)."""
+        return sum(
+            s.duration for s in self.slices
+            if s.node == node and s.proc.startswith(proc_prefix)
+        )
+
+    def bytes_between(self, src: int, dst: int) -> int:
+        return sum(m.nbytes for m in self.messages
+                   if m.src == src and m.dst == dst)
+
+    def timeline(self, node: int, t0: float = 0.0,
+                 t1: Optional[float] = None, width: int = 72) -> str:
+        """Render node ``node``'s CPU occupancy in ``[t0, t1]`` as one
+        text line, one character per time bucket (first letter of the
+        running process, '.' for idle)."""
+        if t1 is None:
+            t1 = self.cluster.sim.now
+        if t1 <= t0:
+            raise SimulationError("empty timeline window")
+        step = (t1 - t0) / width
+        chars = ["."] * width
+        for s in self.slices:
+            if s.node != node or s.end <= t0 or s.start >= t1:
+                continue
+            a = max(0, int((s.start - t0) / step))
+            b = min(width - 1, int((s.end - t0) / step))
+            for i in range(a, b + 1):
+                chars[i] = s.proc[0] if s.proc else "?"
+        return f"n{node} |" + "".join(chars) + "|"

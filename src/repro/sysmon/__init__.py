@@ -1,0 +1,13 @@
+"""System monitoring substrate: load daemons and timing sources.
+
+Implements the paper's Section 4.2 toolchain — the ``dmpi_ps`` daemon,
+the unreliable ``vmstat`` baseline it replaces, /PROC CPU-time
+accounting, and ``gethrtime`` wallclock timing with min-filtering.
+"""
+
+from .dmpi_ps import DmpiPs
+from .hrtimer import HrTimer, min_filter
+from .proctime import ProcClock
+from .vmstat import Vmstat
+
+__all__ = ["DmpiPs", "Vmstat", "ProcClock", "HrTimer", "min_filter"]

@@ -1,0 +1,230 @@
+"""Application correctness tests: each distributed app must compute
+exactly what its sequential reference computes — with and without
+redistribution happening mid-run."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    CGConfig,
+    JacobiConfig,
+    ParticleConfig,
+    SORConfig,
+    cg_program,
+    initial_counts,
+    jacobi_program,
+    particle_program,
+    run_program,
+    sor_program,
+)
+from repro.apps import jacobi as jacobi_mod
+from repro.apps import sor as sor_mod
+from repro.apps.kernels import make_cg_rows
+from repro.apps.reference import (
+    cg_matrix_dense,
+    cg_reference,
+    jacobi_reference,
+    particle_reference,
+    sor_reference,
+)
+from repro.config import ClusterSpec, NetworkSpec, NodeSpec, RuntimeSpec
+from repro.simcluster import Cluster, CycleTrigger, LoadScript
+
+# tiny test problems mean sub-millisecond phase cycles, so the load
+# daemon must sample far faster than the paper's 1 Hz to notice the
+# competing process within the run
+FAST_SPEC = RuntimeSpec(grace_period=2, post_redist_period=3,
+                        allow_removal=False, daemon_interval=0.002)
+
+
+def make_cluster(n=4):
+    # Tiny test problems (tens of rows) must keep the comm/comp ratio
+    # realistic, so the per-message CPU overheads are scaled down with
+    # the problem; otherwise the balancer correctly-but-unhelpfully
+    # optimizes for neighbor count instead of load.
+    return Cluster(ClusterSpec(
+        n_nodes=n,
+        node=NodeSpec(speed=1e8),
+        network=NetworkSpec(latency=75e-6, bandwidth=12.5e6,
+                            cpu_per_byte=0.01, cpu_per_msg=50.0),
+    ))
+
+
+def loaded_script(node=0, cycle=3, count=2):
+    return LoadScript(cycle_triggers=[
+        CycleTrigger(cycle=cycle, node=node, action="start", count=count)
+    ])
+
+
+# ----------------------------------------------------------------------
+# Jacobi
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_nodes", [1, 2, 4])
+def test_jacobi_matches_reference(n_nodes):
+    cfg = JacobiConfig(n=24, iters=6, materialized=True, collect=True)
+    res = run_program(make_cluster(n_nodes), jacobi_program, cfg, adaptive=False)
+    expected = jacobi_reference(jacobi_mod.initial_grid(cfg), cfg.iters)
+    for out in res.per_rank:
+        assert np.allclose(out["grid"], expected, atol=1e-12)
+
+
+def test_jacobi_correct_across_redistribution():
+    cfg = JacobiConfig(n=32, iters=30, materialized=True, collect=True)
+    res = run_program(
+        make_cluster(4), jacobi_program, cfg,
+        spec=FAST_SPEC, adaptive=True, load_script=loaded_script(),
+    )
+    assert res.n_redistributions >= 1
+    expected = jacobi_reference(jacobi_mod.initial_grid(cfg), cfg.iters)
+    for out in res.per_rank:
+        assert np.allclose(out["grid"], expected, atol=1e-12)
+    # the loaded node ends with fewer rows than even
+    s0, e0 = res.bounds[0]
+    assert (e0 - s0 + 1) < cfg.n // 4
+
+
+def test_jacobi_virtual_mode_runs_and_adapts():
+    cfg = JacobiConfig(n=64, iters=30, materialized=False)
+    res = run_program(
+        make_cluster(4), jacobi_program, cfg,
+        spec=FAST_SPEC, adaptive=True, load_script=loaded_script(),
+    )
+    assert res.n_redistributions >= 1
+    assert res.wall_time > 0
+
+
+# ----------------------------------------------------------------------
+# SOR
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_nodes", [1, 3, 4])
+def test_sor_matches_reference(n_nodes):
+    cfg = SORConfig(n=20, iters=5, materialized=True, collect=True)
+    res = run_program(make_cluster(n_nodes), sor_program, cfg, adaptive=False)
+    expected = sor_reference(sor_mod.initial_grid(cfg), cfg.iters, cfg.omega)
+    for out in res.per_rank:
+        assert np.allclose(out["grid"], expected, atol=1e-12)
+
+
+def test_sor_correct_across_redistribution():
+    cfg = SORConfig(n=24, iters=24, materialized=True, collect=True)
+    res = run_program(
+        make_cluster(3), sor_program, cfg,
+        spec=FAST_SPEC, adaptive=True, load_script=loaded_script(node=1),
+    )
+    assert res.n_redistributions >= 1
+    expected = sor_reference(sor_mod.initial_grid(cfg), cfg.iters, cfg.omega)
+    for out in res.per_rank:
+        assert np.allclose(out["grid"], expected, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# CG
+# ----------------------------------------------------------------------
+def test_cg_matrix_is_symmetric_and_diag_dominant():
+    n = 60
+    A = cg_matrix_dense(n)
+    assert np.allclose(A, A.T)
+    for i in range(n):
+        assert A[i, i] > np.abs(A[i]).sum() - A[i, i]
+
+
+def test_cg_rows_consistent_with_dense():
+    n = 40
+    A = cg_matrix_dense(n)
+    for g in (0, 7, n - 1):
+        cols, vals = make_cg_rows(n, g)
+        row = np.zeros(n)
+        row[cols] = vals
+        assert np.allclose(row, A[g])
+
+
+@pytest.mark.parametrize("n_nodes", [1, 2, 4])
+def test_cg_matches_reference(n_nodes):
+    cfg = CGConfig(n=48, iters=12)
+    res = run_program(make_cluster(n_nodes), cg_program, cfg, adaptive=False)
+    A = cg_matrix_dense(cfg.n, nnz_target=cfg.nnz_target, seed=cfg.seed)
+    x_ref, resid_ref = cg_reference(A, np.ones(cfg.n), cfg.iters)
+    # assemble distributed x
+    x = np.zeros(cfg.n)
+    for out in res.per_rank:
+        for g, v in out["x_local"].items():
+            x[g] = v
+    assert np.allclose(x, x_ref, atol=1e-8)
+    assert res.per_rank[0]["residual"] == pytest.approx(resid_ref, abs=1e-8)
+
+
+def test_cg_converges():
+    cfg = CGConfig(n=64, iters=40)
+    res = run_program(make_cluster(2), cg_program, cfg, adaptive=False)
+    assert res.per_rank[0]["residual"] < 1e-6 * np.sqrt(cfg.n)
+
+
+def test_cg_correct_across_redistribution():
+    cfg = CGConfig(n=48, iters=25)
+    res = run_program(
+        make_cluster(4), cg_program, cfg,
+        spec=FAST_SPEC, adaptive=True, load_script=loaded_script(node=2),
+    )
+    assert res.n_redistributions >= 1
+    A = cg_matrix_dense(cfg.n, nnz_target=cfg.nnz_target, seed=cfg.seed)
+    x_ref, _ = cg_reference(A, np.ones(cfg.n), cfg.iters)
+    x = np.zeros(cfg.n)
+    for out in res.per_rank:
+        for g, v in out["x_local"].items():
+            x[g] = v
+    assert np.allclose(x, x_ref, atol=1e-8)
+
+
+# ----------------------------------------------------------------------
+# particle simulation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_nodes", [1, 2, 4])
+def test_particle_matches_reference(n_nodes):
+    cfg = ParticleConfig(rows=16, cols=8, steps=6, collect=True)
+    res = run_program(make_cluster(n_nodes), particle_program, cfg, adaptive=False)
+    expected = particle_reference(initial_counts(cfg), cfg.steps, cfg.seed)
+    for out in res.per_rank:
+        assert np.array_equal(out["grid"], expected)
+
+
+def test_particle_mass_conserved():
+    cfg = ParticleConfig(rows=16, cols=8, steps=10)
+    res = run_program(make_cluster(2), particle_program, cfg, adaptive=False)
+    total = sum(out["particles"] for out in res.per_rank)
+    assert total == pytest.approx(initial_counts(cfg).sum())
+
+
+def test_particle_correct_across_redistribution():
+    cfg = ParticleConfig(rows=24, cols=8, steps=24, hot_rows=6,
+                         hot_factor=2.0, collect=True)
+    res = run_program(
+        make_cluster(4), particle_program, cfg,
+        spec=FAST_SPEC, adaptive=True, load_script=loaded_script(node=0),
+    )
+    assert res.n_redistributions >= 1
+    expected = particle_reference(initial_counts(cfg), cfg.steps, cfg.seed)
+    for out in res.per_rank:
+        assert np.array_equal(out["grid"], expected)
+
+
+def test_particle_unbalanced_rows_get_fewer_per_node():
+    """With 2x particles on the hot rows, weighted blocks give the hot
+    node fewer rows even when nobody is loaded (after a redistribution
+    is forced by a competing process elsewhere)."""
+    cfg = ParticleConfig(rows=32, cols=8, steps=40, hot_rows=8, hot_factor=4.0)
+    res = run_program(
+        make_cluster(4), particle_program, cfg,
+        spec=FAST_SPEC, adaptive=True,
+        load_script=LoadScript(cycle_triggers=[
+            CycleTrigger(cycle=3, node=3, action="start"),
+            CycleTrigger(cycle=20, node=3, action="stop"),
+        ]),
+    )
+    assert res.n_redistributions >= 1
+    # the heavy upper half (the hot region plus the mass that diffuses
+    # just below it) is held by the first two ranks with fewer rows
+    # than the light lower half held by the last two
+    upper = sum(e - s + 1 for s, e in res.bounds[:2] if e >= s)
+    lower = sum(e - s + 1 for s, e in res.bounds[2:] if e >= s)
+    assert upper + lower == cfg.rows
+    assert upper < lower

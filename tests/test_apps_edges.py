@@ -1,0 +1,126 @@
+"""Edge-case tests for the applications: tiny per-rank ranges (the
+SOR overlap's boundary logic), more ranks than work, empty bounds
+during collectives, and model-mode/real-mode agreement."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    CGConfig,
+    JacobiConfig,
+    ParticleConfig,
+    SORConfig,
+    cg_program,
+    jacobi_program,
+    particle_program,
+    run_program,
+    sor_program,
+)
+from repro.apps import sor as sor_mod
+from repro.apps import jacobi as jacobi_mod
+from repro.apps.reference import jacobi_reference, particle_reference, sor_reference
+from repro.apps import initial_counts
+from repro.config import ClusterSpec, NetworkSpec, NodeSpec, RuntimeSpec
+from repro.simcluster import Cluster, CycleTrigger, LoadScript
+
+
+def make_cluster(n):
+    return Cluster(ClusterSpec(
+        n_nodes=n,
+        node=NodeSpec(speed=1e8),
+        network=NetworkSpec(latency=75e-6, bandwidth=12.5e6,
+                            cpu_per_byte=0.01, cpu_per_msg=50.0),
+    ))
+
+
+def test_sor_two_rows_per_rank_overlap_branch():
+    """With <= 2 rows per rank the overlap split cannot run; the
+    fallback branch must still be numerically exact."""
+    cfg = SORConfig(n=8, iters=4, materialized=True, collect=True)
+    res = run_program(make_cluster(4), sor_program, cfg, adaptive=False)
+    expected = sor_reference(sor_mod.initial_grid(cfg), cfg.iters, cfg.omega)
+    for out in res.per_rank:
+        assert np.allclose(out["grid"], expected, atol=1e-12)
+
+
+def test_sor_single_row_per_rank():
+    cfg = SORConfig(n=6, iters=3, materialized=True, collect=True)
+    res = run_program(make_cluster(6), sor_program, cfg, adaptive=False)
+    expected = sor_reference(sor_mod.initial_grid(cfg), cfg.iters, cfg.omega)
+    for out in res.per_rank:
+        assert np.allclose(out["grid"], expected, atol=1e-12)
+
+
+def test_jacobi_single_node_no_comm():
+    cfg = JacobiConfig(n=12, iters=5, materialized=True, collect=True)
+    res = run_program(make_cluster(1), jacobi_program, cfg, adaptive=False)
+    expected = jacobi_reference(jacobi_mod.initial_grid(cfg), cfg.iters)
+    assert np.allclose(res.per_rank[0]["grid"], expected, atol=1e-12)
+
+
+def test_jacobi_more_ranks_than_comfortable():
+    """8 ranks over 16 rows: 2 rows each, halos everywhere."""
+    cfg = JacobiConfig(n=16, iters=4, materialized=True, collect=True)
+    res = run_program(make_cluster(8), jacobi_program, cfg, adaptive=False)
+    expected = jacobi_reference(jacobi_mod.initial_grid(cfg), cfg.iters)
+    for out in res.per_rank:
+        assert np.allclose(out["grid"], expected, atol=1e-12)
+
+
+def test_cg_virtual_vector_mode_matches_exact_cycle_count():
+    """exact_math=False runs the same communication schedule (cycles,
+    events) as exact math, just without the arithmetic."""
+    cfgA = CGConfig(n=64, iters=8, exact_math=True)
+    cfgB = CGConfig(n=64, iters=8, exact_math=False)
+    resA = run_program(make_cluster(4), cg_program, cfgA, adaptive=False)
+    resB = run_program(make_cluster(4), cg_program, cfgB, adaptive=False)
+    assert resA.per_rank[0]["cycles"] == resB.per_rank[0]["cycles"]
+    # same message count: the schedule is identical
+    assert resA.job.cluster.network.n_messages == \
+        resB.job.cluster.network.n_messages
+
+
+def test_particle_grid_thinner_than_ranks():
+    cfg = ParticleConfig(rows=6, cols=4, steps=5, collect=True)
+    res = run_program(make_cluster(3), particle_program, cfg, adaptive=False)
+    expected = particle_reference(initial_counts(cfg), cfg.steps, cfg.seed)
+    for out in res.per_rank:
+        assert np.array_equal(out["grid"], expected)
+
+
+def test_particle_fig7_initialization():
+    cfg = ParticleConfig(rows=32, cols=4, part_top=10.0, n_nodes_hint=4)
+    counts = initial_counts(cfg)
+    hot = cfg.rows // (2 * cfg.n_nodes_hint)
+    assert np.all(counts[:hot] == 10.0)
+    assert np.all(counts[hot:] == 1.5)
+
+
+def test_particle_hot_rows_initialization():
+    cfg = ParticleConfig(rows=10, cols=4, base_density=2.0,
+                         hot_rows=3, hot_factor=2.0)
+    counts = initial_counts(cfg)
+    assert np.all(counts[:3] == 4.0)
+    assert np.all(counts[3:] == 2.0)
+
+
+def test_apps_run_under_removal_policy():
+    """An app surviving an actual drop mid-run still computes the
+    exact reference result (active ranks take over the rows)."""
+    cfg = ParticleConfig(rows=24, cols=6, steps=30, collect=True)
+    cluster = make_cluster(4)
+    cluster.install_load_script(LoadScript(cycle_triggers=[
+        CycleTrigger(cycle=3, node=1, action="start", count=8)
+    ]))
+    res = run_program(
+        cluster, particle_program, cfg,
+        spec=RuntimeSpec(grace_period=2, post_redist_period=3,
+                         allow_removal=True, drop_margin=1e-9,
+                         daemon_interval=0.002),
+        adaptive=True,
+    )
+    assert any(ev.kind == "drop" for ev in res.events)
+    expected = particle_reference(initial_counts(cfg), cfg.steps, cfg.seed)
+    for out in res.per_rank:
+        if "grid" in out:
+            assert np.array_equal(out["grid"], expected)

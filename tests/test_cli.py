@@ -1,0 +1,32 @@
+"""Tests for the `python -m repro.experiments` figure runner."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_cli_fig3(capsys):
+    assert main(["fig3", "--scale", "0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3" in out
+    assert "cont/proj work" in out
+
+
+def test_cli_fig4_subset(capsys):
+    assert main(["fig4", "--scale", "0.12", "--apps", "jacobi"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4" in out
+    assert "jacobi" in out
+    assert "cg" not in out.splitlines()[2]
+
+
+def test_cli_ablations(capsys):
+    assert main(["ablations"]) == 0
+    out = capsys.readouterr().out
+    assert "Successive balancing" in out
+    assert "vmstat" in out
+
+
+def test_cli_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        main(["fig99"])

@@ -1,0 +1,88 @@
+"""Validation tests for the configuration dataclasses and cluster
+presets."""
+
+import pytest
+
+from repro.config import (
+    ClusterSpec,
+    NetworkSpec,
+    NodeSpec,
+    RuntimeSpec,
+    pentium_cluster,
+    ultrasparc_cluster,
+)
+from repro.errors import ConfigError
+
+
+def test_node_spec_defaults_valid():
+    spec = NodeSpec()
+    assert spec.speed > 0
+    assert spec.quantum == 0.010
+    assert spec.discipline == "rr"
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"speed": 0},
+    {"speed": -1e8},
+    {"quantum": 0},
+    {"discipline": "lottery"},
+])
+def test_node_spec_rejects_bad_values(kwargs):
+    with pytest.raises(ConfigError):
+        NodeSpec(**kwargs)
+
+
+def test_cluster_spec_needs_a_node():
+    with pytest.raises(ConfigError):
+        ClusterSpec(n_nodes=0)
+    spec = ClusterSpec(n_nodes=2)
+    assert spec.with_nodes(5).n_nodes == 5
+    assert spec.with_nodes(5).node == spec.node
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"grace_period": 0},
+    {"post_redist_period": 0},
+    {"daemon_interval": 0},
+    {"distribution": "diagonal"},
+    {"drop_mode": "virtual"},
+    {"drop_margin": 0},
+])
+def test_runtime_spec_rejects_bad_values(kwargs):
+    with pytest.raises(ConfigError):
+        RuntimeSpec(**kwargs)
+
+
+def test_runtime_spec_paper_defaults():
+    spec = RuntimeSpec()
+    assert spec.grace_period == 5          # paper Section 4.2
+    assert spec.post_redist_period == 10   # paper Section 4.4
+    assert spec.daemon_interval == 1.0     # dmpi_ps updates every second
+    assert spec.proc_granularity == 0.010  # /PROC granularity
+    assert spec.hrtimer_threshold == 0.010
+    assert spec.drop_mode == "physical"
+    assert spec.allow_removal
+    assert not spec.allow_rejoin
+    assert not spec.partial_removal
+
+
+def test_pentium_preset():
+    spec = pentium_cluster(8, seed=3)
+    assert spec.n_nodes == 8
+    assert spec.seed == 3
+    assert spec.name == "pentium"
+    assert spec.network.bandwidth == pytest.approx(12.5e6)  # 100 Mb/s
+    assert spec.network.recv_mode == "blocking"
+
+
+def test_ultrasparc_preset_polls():
+    spec = ultrasparc_cluster(16)
+    assert spec.name == "ultrasparc"
+    assert spec.network.recv_mode == "polling"
+    assert spec.node.speed < pentium_cluster(1).node.speed
+
+
+def test_specs_are_frozen():
+    spec = NodeSpec()
+    with pytest.raises(Exception):
+        spec.speed = 1.0

@@ -1,0 +1,218 @@
+"""Tests for ProjectedArray (2-d projection layout) and the
+ContiguousArray baseline."""
+
+import numpy as np
+import pytest
+
+from repro.dmem import ContiguousArray, MemCostModel, ProjectedArray
+from repro.errors import AllocationError
+
+
+def test_shape_projection_extended_rows():
+    a = ProjectedArray("a", (10, 4, 3))
+    assert a.n_rows == 10
+    assert a.row_elems == 12
+    assert a.row_nbytes == 12 * 8
+    b = ProjectedArray("b", (5,))
+    assert b.row_elems == 1
+
+
+def test_invalid_shape_rejected():
+    with pytest.raises(AllocationError):
+        ProjectedArray("a", (0, 3))
+    with pytest.raises(AllocationError):
+        ProjectedArray("a", (4, -1))
+    with pytest.raises(AllocationError):
+        ContiguousArray("a", ())
+
+
+def test_hold_drop_and_accounting():
+    a = ProjectedArray("a", (8, 2))
+    assert a.hold([0, 1, 2]) == 3
+    assert a.hold([2, 3]) == 1  # row 2 already held
+    assert a.held_rows() == [0, 1, 2, 3]
+    assert a.drop([1, 7]) == 1
+    assert a.held_rows() == [0, 2, 3]
+    assert a.stats.n_allocs == 4
+    assert a.stats.n_frees == 1
+    assert a.stats.bytes_allocated == 4 * a.row_nbytes
+
+
+def test_row_access_and_write():
+    a = ProjectedArray("a", (4, 3))
+    a.hold([1])
+    a.row(1)[:] = [1.0, 2.0, 3.0]
+    assert np.array_equal(a.row(1), [1.0, 2.0, 3.0])
+    a.set_row(1, np.zeros(3))
+    assert np.array_equal(a.row(1), np.zeros(3))
+
+
+def test_unheld_row_access_raises():
+    a = ProjectedArray("a", (4, 3))
+    with pytest.raises(AllocationError):
+        a.row(0)
+    with pytest.raises(AllocationError):
+        a.row(99)
+    with pytest.raises(AllocationError):
+        a.hold([4])
+
+
+def test_virtual_array_has_no_data():
+    a = ProjectedArray("a", (4, 3), materialized=False)
+    a.hold([0])
+    with pytest.raises(AllocationError):
+        a.row(0)
+    payload, nbytes = a.pack([0])
+    assert payload is None
+    assert nbytes == a.row_nbytes
+    a.unpack([1], None)  # allocates the row, no data needed
+    assert a.holds(1)
+
+
+def test_block_roundtrip():
+    a = ProjectedArray("a", (6, 2))
+    a.hold(range(2, 5))
+    data = np.arange(6.0).reshape(3, 2)
+    a.set_block(2, data)
+    assert np.array_equal(a.block(2, 4), data)
+    with pytest.raises(AllocationError):
+        a.block(4, 2)
+
+
+def test_pack_unpack_preserves_data():
+    src = ProjectedArray("src", (10, 4))
+    dst = ProjectedArray("dst", (10, 4))
+    src.hold([3, 5, 7])
+    for g in (3, 5, 7):
+        src.row(g)[:] = g
+    payload, nbytes = src.pack([3, 5, 7])
+    assert nbytes == 3 * src.row_nbytes
+    dst.unpack([3, 5, 7], payload)
+    for g in (3, 5, 7):
+        assert np.all(dst.row(g) == g)
+
+
+def test_unpack_shape_mismatch_raises():
+    a = ProjectedArray("a", (4, 3))
+    with pytest.raises(AllocationError):
+        a.unpack([0, 1], np.zeros((1, 3)))
+    with pytest.raises(AllocationError):
+        a.unpack([0], None)
+
+
+def test_retarget_reuses_surviving_rows():
+    """The projection method's key property: rows that stay local are
+    not copied or reallocated, only the pointer vector is rewritten."""
+    a = ProjectedArray("a", (100, 8))
+    a.hold(range(0, 50))
+    for g in range(0, 50):
+        a.row(g)[:] = g
+    before = a.stats.snapshot()
+    buf40 = a.row(40)
+    a.retarget(range(30, 50))  # shrink: keep 20 rows
+    delta = a.stats.delta(before)
+    assert delta.bytes_copied == 0
+    assert delta.bytes_allocated == 0
+    assert delta.n_frees == 30
+    assert delta.pointer_moves == 100
+    assert a.row(40) is buf40  # literally the same buffer
+    assert np.all(a.row(40) == 40)
+
+
+def test_contiguous_resize_copies_overlap():
+    c = ContiguousArray("c", (100, 8))
+    c.resize(0, 49)
+    for g in range(0, 50):
+        c.row(g)[:] = g
+    before = c.stats.snapshot()
+    c.resize(30, 59)  # shift: overlap is rows 30..49
+    delta = c.stats.delta(before)
+    assert delta.bytes_allocated == 30 * c.row_nbytes
+    assert delta.bytes_copied == 20 * c.row_nbytes
+    assert delta.n_frees == 1
+    assert np.all(c.row(40) == 40)       # survived the copy
+    assert np.all(c.row(55) == 0.0)      # fresh rows zeroed
+
+
+def test_contiguous_rejects_out_of_range_rows():
+    c = ContiguousArray("c", (10, 2))
+    c.resize(0, 4)
+    with pytest.raises(AllocationError):
+        c.row(7)
+    with pytest.raises(AllocationError):
+        c.resize(5, 10)
+    with pytest.raises(AllocationError):
+        c.unpack([9], np.zeros((1, 2)))
+
+
+def test_contiguous_release():
+    c = ContiguousArray("c", (10, 2))
+    c.resize(0, 9)
+    c.release()
+    assert c.bounds is None
+    assert c.n_held == 0
+    assert c.stats.bytes_freed == 10 * c.row_nbytes
+
+
+def test_projection_beats_contiguous_on_shift():
+    """Figure 3's claim, quantitatively: shifting a partition boundary
+    costs the projection layout far less memory traffic than the
+    contiguous layout."""
+    n, width = 1000, 64
+    proj = ProjectedArray("p", (n, width))
+    cont = ContiguousArray("c", (n, width))
+    proj.hold(range(0, 500))
+    cont.resize(0, 499)
+    p0, c0 = proj.stats.snapshot(), cont.stats.snapshot()
+
+    # gain 10 rows at the bottom, lose nothing else
+    proj.retarget(range(0, 510))
+    proj.hold(range(500, 510))
+    cont.resize(0, 509)
+
+    model = MemCostModel()
+    p_work = model.work(proj.stats.delta(p0))
+    c_work = model.work(cont.stats.delta(c0))
+    assert p_work < c_work / 10
+
+
+def test_cost_model_paging_penalty():
+    from repro.dmem import AllocStats
+
+    model = MemCostModel(paging_threshold=0.5, paging_factor=40.0)
+    stats = AllocStats()
+    stats.record_alloc(100 * 1024)
+    small_mem_work = model.work(stats, memory_bytes=100 * 1024)  # pages
+    big_mem_work = model.work(stats, memory_bytes=10 * 1024 * 1024)  # fits
+    assert small_mem_work > 10 * big_mem_work
+
+
+def test_stats_merge_and_delta():
+    from repro.dmem import AllocStats
+
+    a = AllocStats()
+    a.record_alloc(10)
+    b = AllocStats()
+    b.record_copy(5)
+    b.record_free(3)
+    a.merge(b)
+    assert a.bytes_allocated == 10
+    assert a.bytes_copied == 5
+    assert a.bytes_freed == 3
+    snap = a.snapshot()
+    a.record_copy(7)
+    assert a.delta(snap).bytes_copied == 7
+
+
+def test_stats_negative_values_rejected():
+    from repro.dmem import AllocStats
+
+    s = AllocStats()
+    with pytest.raises(AllocationError):
+        s.record_alloc(-1)
+    with pytest.raises(AllocationError):
+        s.record_copy(-1)
+    with pytest.raises(AllocationError):
+        s.record_free(-1)
+    with pytest.raises(AllocationError):
+        s.record_pointer_moves(-1)

@@ -1,0 +1,182 @@
+"""Additional edge-case coverage for the memory substrate: block
+operations, dtype handling, virtual/materialized mixing, contiguous
+pack/unpack, and cost-model corner cases."""
+
+import numpy as np
+import pytest
+
+from repro.dmem import (
+    AllocStats,
+    ContiguousArray,
+    MemCostModel,
+    ProjectedArray,
+    SparseMatrix,
+)
+from repro.errors import AllocationError
+
+
+# ----------------------------------------------------------------------
+# ProjectedArray extras
+# ----------------------------------------------------------------------
+def test_projected_one_dimensional_array():
+    v = ProjectedArray("v", (10,))
+    v.hold([3])
+    v.row(3)[0] = 7.5
+    assert v.row_elems == 1
+    assert v.row(3).shape == (1,)
+    payload, nbytes = v.pack([3])
+    assert nbytes == 8
+    w = ProjectedArray("w", (10,))
+    w.unpack([3], payload)
+    assert w.row(3)[0] == 7.5
+
+
+def test_projected_dtype_respected():
+    a = ProjectedArray("a", (4, 3), dtype=np.float32)
+    a.hold([0])
+    assert a.row(0).dtype == np.float32
+    assert a.row_nbytes == 12
+
+
+def test_projected_3d_shape_flattens_extended_rows():
+    a = ProjectedArray("a", (5, 2, 4))
+    assert a.row_elems == 8
+    a.hold([2])
+    a.row(2)[:] = np.arange(8)
+    assert a.row(2)[7] == 7
+
+
+def test_set_block_and_held_nbytes():
+    a = ProjectedArray("a", (8, 2))
+    a.hold(range(2, 6))
+    a.set_block(2, np.ones((4, 2)))
+    assert a.held_nbytes == 4 * 16
+    assert np.all(a.block(2, 5) == 1.0)
+
+
+def test_set_row_shape_coercion_and_error():
+    a = ProjectedArray("a", (4, 4))
+    a.hold([0])
+    a.set_row(0, [1, 2, 3, 4])  # list accepted
+    assert np.array_equal(a.row(0), [1, 2, 3, 4])
+    with pytest.raises(Exception):
+        a.set_row(0, [1, 2, 3])  # wrong length
+
+
+def test_virtual_pack_requires_held_rows():
+    a = ProjectedArray("a", (4, 2), materialized=False)
+    with pytest.raises(AllocationError):
+        a.pack([1])
+
+
+def test_retarget_validates_rows():
+    a = ProjectedArray("a", (4, 2))
+    with pytest.raises(AllocationError):
+        a.retarget([9])
+
+
+# ----------------------------------------------------------------------
+# ContiguousArray extras
+# ----------------------------------------------------------------------
+def test_contiguous_pack_unpack_within_range():
+    c = ContiguousArray("c", (10, 2))
+    c.resize(2, 6)
+    for g in range(2, 7):
+        c.row(g)[:] = g
+    payload, nbytes = c.pack([3, 5])
+    assert nbytes == 2 * c.row_nbytes
+    d = ContiguousArray("d", (10, 2))
+    d.resize(0, 9)
+    d.unpack([3, 5], payload)
+    assert np.all(d.row(3) == 3) and np.all(d.row(5) == 5)
+
+
+def test_contiguous_grow_in_place_overlap():
+    c = ContiguousArray("c", (10, 2))
+    c.resize(4, 6)
+    c.row(5)[:] = 5
+    c.resize(2, 8)  # grow both directions
+    assert np.all(c.row(5) == 5)
+    assert np.all(c.row(2) == 0)
+    assert c.n_held == 7
+
+
+def test_contiguous_disjoint_resize_copies_nothing():
+    c = ContiguousArray("c", (10, 2), materialized=False)
+    c.resize(0, 3)
+    before = c.stats.snapshot()
+    c.resize(6, 9)
+    delta = c.stats.delta(before)
+    assert delta.bytes_copied == 0
+    assert delta.bytes_allocated == 4 * c.row_nbytes
+
+
+def test_contiguous_virtual_rows_unavailable():
+    c = ContiguousArray("c", (4, 2), materialized=False)
+    c.resize(0, 3)
+    with pytest.raises(AllocationError):
+        c.row(0)
+
+
+# ----------------------------------------------------------------------
+# SparseMatrix extras
+# ----------------------------------------------------------------------
+def test_sparse_pack_empty_rows():
+    s = SparseMatrix("s", (4, 4))
+    s.hold([0, 1])
+    payload, nbytes = s.pack([0, 1])
+    assert list(payload["row_ptr"]) == [0, 0, 0]
+    d = SparseMatrix("d", (4, 4))
+    d.unpack([0, 1], payload)
+    assert d.row_items(0) == [] and d.row_items(1) == []
+
+
+def test_sparse_hold_idempotent_preserves_data():
+    s = SparseMatrix("s", (4, 4))
+    s.hold([0])
+    s.set(0, 1, 9.0)
+    assert s.hold([0]) == 0  # already held: no-op
+    assert s.get(0, 1) == 9.0
+
+
+def test_sparse_csr_version_changes_on_drop():
+    s = SparseMatrix("s", (4, 4))
+    s.hold(range(4))
+    v0 = s.csr_version
+    s.drop([2])
+    assert s.csr_version != v0
+
+
+def test_sparse_iterator_survives_set_through_matrix():
+    s = SparseMatrix("s", (2, 4))
+    s.hold([0, 1])
+    s.set_row_items(0, [1, 2], [1.0, 2.0])
+    it = s.iterator(0)
+    it.next()
+    s.set(0, 2, 5.0)  # in-place value update
+    assert it.next() == (2, 5.0)
+
+
+# ----------------------------------------------------------------------
+# MemCostModel extras
+# ----------------------------------------------------------------------
+def test_cost_model_zero_memory_never_pages():
+    stats = AllocStats()
+    stats.record_alloc(10**9)
+    model = MemCostModel()
+    w_nolimit = model.work(stats, memory_bytes=0)
+    w_small = model.work(stats, memory_bytes=10**6)
+    assert w_small > w_nolimit
+
+
+def test_cost_model_linear_components():
+    model = MemCostModel(work_per_byte_copied=2.0, work_per_byte_alloced=0.5,
+                         work_per_call=10.0, work_per_pointer=1.0)
+    stats = AllocStats()
+    stats.record_alloc(100)
+    stats.record_copy(50)
+    stats.record_free(100)
+    stats.record_pointer_moves(7)
+    assert model.work(stats) == pytest.approx(
+        50 * 2.0 + 100 * 0.5 + 2 * 10.0 + 7 * 1.0
+    )

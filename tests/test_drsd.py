@@ -1,0 +1,56 @@
+"""Tests for Deferred Regular Section Descriptors."""
+
+import pytest
+
+from repro.core.drsd import AccessMode, DRSD
+from repro.errors import RegistrationError
+
+
+def test_basic_write_access():
+    d = DRSD("A", AccessMode.WRITE)
+    assert d.writes and not d.reads
+    assert list(d.rows_needed(3, 6, 10)) == [3, 4, 5, 6]
+
+
+def test_stencil_read_access_extends_bounds():
+    d = DRSD("B", AccessMode.READ, lo_off=-1, hi_off=1)
+    assert d.reads and not d.writes
+    assert list(d.rows_needed(3, 6, 10)) == [2, 3, 4, 5, 6, 7]
+    assert d.halo_width() == (1, 1)
+
+
+def test_clipping_at_array_edges():
+    d = DRSD("B", AccessMode.READ, lo_off=-2, hi_off=2)
+    assert list(d.rows_needed(0, 1, 10)) == [0, 1, 2, 3]
+    assert list(d.rows_needed(8, 9, 10)) == [6, 7, 8, 9]
+
+
+def test_empty_loop_yields_no_rows():
+    d = DRSD("A", AccessMode.WRITE)
+    assert list(d.rows_needed(5, 4, 10)) == []
+
+
+def test_fully_clipped_yields_no_rows():
+    d = DRSD("A", AccessMode.READ, lo_off=5, hi_off=5)
+    assert list(d.rows_needed(7, 9, 10)) == []
+
+
+def test_strided_access():
+    d = DRSD("A", AccessMode.READWRITE, step=2)
+    assert d.reads and d.writes
+    assert list(d.rows_needed(0, 7, 10)) == [0, 2, 4, 6]
+
+
+def test_validation():
+    with pytest.raises(RegistrationError):
+        DRSD("A", "banana")
+    with pytest.raises(RegistrationError):
+        DRSD("A", AccessMode.READ, step=0)
+    with pytest.raises(RegistrationError):
+        DRSD("A", AccessMode.READ, lo_off=2, hi_off=1)
+
+
+def test_halo_width_only_counts_outside_range():
+    assert DRSD("A", AccessMode.READ, lo_off=0, hi_off=2).halo_width() == (0, 2)
+    assert DRSD("A", AccessMode.READ, lo_off=-3, hi_off=0).halo_width() == (3, 0)
+    assert DRSD("A", AccessMode.WRITE).halo_width() == (0, 0)

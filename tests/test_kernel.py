@@ -1,0 +1,242 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.simcluster import (
+    Compute,
+    ProcState,
+    Simulator,
+    Sleep,
+    Wait,
+    WaitAny,
+)
+from repro.simcluster.kernel import SimProcess
+from repro.simcluster.syscalls import Fork
+
+
+def test_empty_run_returns_zero():
+    sim = Simulator()
+    assert sim.run() == 0.0
+
+
+def test_schedule_order_is_time_then_fifo():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(2.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 2.0
+
+
+def test_cancelled_timer_does_not_fire():
+    sim = Simulator()
+    fired = []
+    t = sim.schedule(1.0, lambda: fired.append(1))
+    t.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.5, lambda: None)
+
+
+def test_sleep_advances_time():
+    sim = Simulator()
+
+    def prog():
+        yield Sleep(1.5)
+        yield Sleep(0.5)
+        return "done"
+
+    p = sim.spawn(prog(), name="sleeper")
+    sim.run()
+    assert p.state == ProcState.DONE
+    assert p.result == "done"
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_process_return_value_captured():
+    sim = Simulator()
+
+    def prog():
+        yield Sleep(0.1)
+        return 42
+
+    p = sim.spawn(prog(), name="p")
+    sim.run()
+    assert p.result == 42
+
+
+def test_signal_wait_and_fire():
+    sim = Simulator()
+    sig = sim.signal("s")
+    got = []
+
+    def waiter():
+        value = yield Wait(sig)
+        got.append(value)
+
+    sim.spawn(waiter(), name="w")
+    sim.schedule(3.0, lambda: sig.fire("hello"))
+    sim.run()
+    assert got == ["hello"]
+    assert sim.now == pytest.approx(3.0)
+
+
+def test_wait_on_already_fired_signal_resumes_immediately():
+    sim = Simulator()
+    sig = sim.signal("s")
+    sig.fire(7)
+
+    def waiter():
+        value = yield Wait(sig)
+        return value
+
+    p = sim.spawn(waiter(), name="w")
+    sim.run()
+    assert p.result == 7
+
+
+def test_signal_double_fire_raises():
+    sim = Simulator()
+    sig = sim.signal()
+    sig.fire()
+    with pytest.raises(SimulationError):
+        sig.fire()
+
+
+def test_wait_any_returns_first_index():
+    sim = Simulator()
+    s1, s2 = sim.signal("a"), sim.signal("b")
+
+    def waiter():
+        idx, value = yield WaitAny([s1, s2])
+        return (idx, value)
+
+    p = sim.spawn(waiter(), name="w")
+    sim.schedule(2.0, lambda: s2.fire("second"))
+    sim.schedule(5.0, lambda: s1.fire("first"))
+    sim.run()
+    assert p.result == (1, "second")
+
+
+def test_deadlock_detection_lists_blocked():
+    sim = Simulator()
+    sig = sim.signal()
+
+    def stuck():
+        yield Wait(sig)
+
+    sim.spawn(stuck(), name="stuck-proc")
+    with pytest.raises(DeadlockError) as exc:
+        sim.run()
+    assert "stuck-proc" in str(exc.value)
+
+
+def test_daemon_does_not_trigger_deadlock():
+    sim = Simulator()
+    sig = sim.signal()
+
+    def daemon():
+        yield Wait(sig)
+
+    sim.spawn(daemon(), name="d", daemon=True)
+    sim.run()  # no DeadlockError
+
+
+def test_compute_without_node_raises():
+    sim = Simulator()
+
+    def prog():
+        yield Compute(100.0)
+
+    sim.spawn(prog(), name="nonode")
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_yielding_garbage_raises():
+    sim = Simulator()
+
+    def prog():
+        yield "not a syscall"
+
+    sim.spawn(prog(), name="bad")
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_process_exception_propagates_and_marks_failed():
+    sim = Simulator()
+
+    def prog():
+        yield Sleep(1.0)
+        raise ValueError("boom")
+
+    p = sim.spawn(prog(), name="crash")
+    with pytest.raises(ValueError):
+        sim.run()
+    assert p.state == ProcState.FAILED
+    assert isinstance(p.error, ValueError)
+
+
+def test_fork_starts_child():
+    sim = Simulator()
+    log = []
+
+    def child():
+        yield Sleep(1.0)
+        log.append("child")
+
+    def parent():
+        c = yield Fork(SimProcess("c", child()))
+        yield Wait(c.done_signal)
+        log.append("parent")
+
+    sim.spawn(parent(), name="parent")
+    sim.run()
+    assert log == ["child", "parent"]
+
+
+def test_done_signal_fires_with_result():
+    sim = Simulator()
+
+    def prog():
+        yield Sleep(1.0)
+        return "ret"
+
+    def watcher(p):
+        value = yield Wait(p.done_signal)
+        return value
+
+    p = sim.spawn(prog(), name="p")
+    w = sim.spawn(watcher(p), name="w")
+    sim.run()
+    assert w.result == "ret"
+
+
+def test_run_until_stops_early():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, lambda: fired.append(1))
+    t = sim.run(until=5.0)
+    assert t == 5.0
+    assert fired == []
+
+
+def test_determinism_same_seed_same_trace():
+    def build():
+        sim = Simulator()
+        order = []
+        for i in range(50):
+            sim.schedule((i * 7919) % 13 * 0.1, lambda i=i: order.append(i))
+        sim.run()
+        return order
+
+    assert build() == build()

@@ -1,0 +1,104 @@
+"""Tests for the execution tracer."""
+
+import pytest
+
+from repro.config import ClusterSpec, NodeSpec
+from repro.errors import SimulationError
+from repro.mpi import run_spmd
+from repro.simcluster import Cluster, Compute, Sleep
+from repro.simcluster.trace import Tracer
+
+
+def make_cluster(n=2):
+    return Cluster(ClusterSpec(n_nodes=n, node=NodeSpec(speed=1e8)))
+
+
+def test_traces_cpu_slices_and_busy_time():
+    cluster = make_cluster(1)
+    tracer = Tracer(cluster).attach()
+
+    def prog():
+        yield Compute(1e6)  # 10 ms
+        yield Sleep(0.01)
+        yield Compute(2e6)  # 20 ms
+
+    p = cluster.sim.spawn(prog(), name="app", node=cluster.nodes[0])
+    cluster.sim.run_all([p])
+    tracer.detach()
+    assert tracer.busy_time(0, "app") == pytest.approx(0.03, rel=1e-6)
+    assert tracer.busy_time(0) == pytest.approx(0.03, rel=1e-6)
+    assert len(tracer.slices) >= 2
+
+
+def test_traces_competing_slices():
+    cluster = make_cluster(1)
+    cluster.nodes[0].start_competing("cp0")
+    with Tracer(cluster) as tracer:
+        def prog():
+            yield Compute(1e6)
+            yield Sleep(0.05)  # competing process owns the CPU here
+            yield Compute(1e6)
+
+        p = cluster.sim.spawn(prog(), name="app", node=cluster.nodes[0])
+        cluster.sim.run_all([p])
+    assert tracer.busy_time(0, "app") == pytest.approx(0.02, rel=1e-6)
+    assert tracer.busy_time(0, "cp0") > 0.03
+
+
+def test_traces_messages():
+    cluster = make_cluster(2)
+    tracer = Tracer(cluster).attach()
+
+    def program(ep):
+        if ep.rank == 0:
+            yield from ep.send(1, tag=0, payload=None, nbytes=5000)
+        else:
+            yield from ep.recv(0, tag=0)
+
+    run_spmd(cluster, program)
+    tracer.detach()
+    assert tracer.bytes_between(0, 1) == 5000
+    assert tracer.bytes_between(1, 0) == 0
+    msg = tracer.messages[0]
+    assert msg.delivered > msg.sent
+
+
+def test_timeline_rendering():
+    cluster = make_cluster(1)
+    tracer = Tracer(cluster).attach()
+
+    def prog():
+        yield Compute(1e6)
+        yield Sleep(0.01)
+        yield Compute(1e6)
+
+    p = cluster.sim.spawn(prog(), name="app", node=cluster.nodes[0])
+    cluster.sim.run_all([p])
+    line = tracer.timeline(0, width=30)
+    assert line.startswith("n0 |")
+    assert "a" in line and "." in line
+    with pytest.raises(SimulationError):
+        tracer.timeline(0, t0=5.0, t1=5.0)
+
+
+def test_detach_stops_recording():
+    cluster = make_cluster(1)
+    tracer = Tracer(cluster).attach()
+    tracer.detach()
+    n_before = len(tracer.slices)
+
+    def prog():
+        yield Compute(1e6)
+
+    p = cluster.sim.spawn(prog(), name="app", node=cluster.nodes[0])
+    cluster.sim.run_all([p])
+    assert len(tracer.slices) == n_before
+
+
+def test_double_attach_rejected():
+    cluster = make_cluster(1)
+    tracer = Tracer(cluster).attach()
+    with pytest.raises(SimulationError):
+        tracer.attach()
+    tracer.detach()
+    tracer.detach()  # idempotent
