@@ -16,6 +16,23 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _sanitizer_must_be_off():
+    """Benchmark numbers must come from unsanitized runs.
+
+    The dynsan runtime sanitizer (docs/ANALYSIS.md) is strictly opt-in;
+    a stray ``DYNMPI_SANITIZE`` in the environment would silently add
+    per-message bookkeeping to every figure/table bench.  Fail loudly
+    instead of publishing polluted timings.
+    """
+    from repro.analysis import sanitizer_enabled
+
+    assert not sanitizer_enabled(object()), (
+        "DYNMPI_SANITIZE is set: the communication sanitizer would skew "
+        "benchmark timings — unset it before running benches"
+    )
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -1,0 +1,47 @@
+"""dynsan — the Dyn-MPI correctness-analysis subsystem.
+
+Three independent layers (see ``docs/ANALYSIS.md``):
+
+* :mod:`repro.analysis.plancheck` — static verification of a
+  redistribution plan *before* it executes (Section 4.4 invariants:
+  matched sends/receives, row-multiset conservation, ghost coverage,
+  send-out-only for removed nodes).
+* :mod:`repro.analysis.sanitizer` — opt-in runtime sanitizer hooked
+  into the MPI layer and the simulation kernel: unmatched send/recv
+  accounting, ANY_SOURCE race warnings, collective-mismatch checks,
+  and wait-for-graph deadlock detection that fails fast instead of
+  hanging the simulation.
+* :mod:`repro.analysis.lint` — project-specific AST lint for the
+  failure modes generic linters cannot see (undriven generator
+  endpoints, nondeterminism in the deterministic zones, mutable
+  dataclass defaults).
+
+Command line: ``python -m repro.analysis lint src/`` and
+``python -m repro.analysis plan spec.json``.
+
+Only the sanitizer is imported eagerly: :mod:`repro.simcluster` wires
+it into every cluster, and importing :mod:`plancheck` here would close
+an import cycle through :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from .sanitizer import CommSanitizer, SanitizerReport, sanitizer_enabled
+
+__all__ = [
+    "CommSanitizer",
+    "SanitizerReport",
+    "sanitizer_enabled",
+    "plancheck",
+    "lint",
+]
+
+_LAZY = ("plancheck", "lint")
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

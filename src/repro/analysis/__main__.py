@@ -1,0 +1,156 @@
+"""dynsan command line.
+
+Usage::
+
+    python -m repro.analysis lint src/ [more paths...]
+    python -m repro.analysis plan spec.json [--quiet]
+
+``lint`` walks the given files/trees and prints one line per finding
+(``path:line:col: CODE message``), exiting 1 if any remain — the CI
+correctness gate.
+
+``plan`` statically verifies a redistribution plan from a JSON spec::
+
+    {
+      "n_rows": 12,
+      "old_bounds": [[0, 5], [6, 11]],
+      "new_bounds": [[0, 11], null],
+      "arrays": {"A": 12},
+      "accesses": [
+        {"array": "A", "mode": "read", "lo_off": -1, "hi_off": 1},
+        {"array": "A", "mode": "write"}
+      ],
+      "plan": {"1->0": {"A": [6, 7, 8, 9, 10, 11]}}
+    }
+
+``new_bounds`` entries of ``null`` mark removed participants.  The
+optional ``"plan"`` object gives explicit sends (``"src->dst"`` keys);
+without it the verifier derives the plan exactly as the runtime would
+and self-checks it.  Exits 1 when violations are found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from .lint import lint_paths
+
+
+def _bounds(raw: list) -> tuple:
+    return tuple(None if b is None else (int(b[0]), int(b[1])) for b in raw)
+
+
+def _load_plan_spec(spec: dict[str, Any]):
+    from ..core.drsd import DRSD
+    from .plancheck import RedistPlan, accesses_to_phases
+
+    n_rows = int(spec["n_rows"])
+    old_bounds = _bounds(spec["old_bounds"])
+    new_bounds = _bounds(spec["new_bounds"])
+    arrays = {str(k): int(v) for k, v in spec.get("arrays", {"A": n_rows}).items()}
+    accesses = [
+        DRSD(
+            a["array"], a.get("mode", "readwrite"),
+            int(a.get("lo_off", 0)), int(a.get("hi_off", 0)),
+            int(a.get("step", 1)),
+        )
+        for a in spec.get("accesses", [])
+    ]
+    phases = accesses_to_phases(accesses)
+    plan = None
+    if "plan" in spec:
+        plan = RedistPlan(len(new_bounds))
+        for key, entry in spec["plan"].items():
+            src, _, dst = key.partition("->")
+            for name, rows in entry.items():
+                plan.add(int(src), int(dst), name, [int(r) for r in rows])
+    return old_bounds, new_bounds, phases, arrays, plan
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from ..errors import PlanCheckError
+    from .plancheck import build_plan, verify_plan
+
+    try:
+        with open(args.spec, encoding="utf-8") as fh:
+            spec = json.load(fh)
+    except OSError as exc:
+        print(f"plan: cannot read {args.spec}: {exc.strerror}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"plan: {args.spec} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    try:
+        old_bounds, new_bounds, phases, arrays, plan = _load_plan_spec(spec)
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"plan: malformed spec {args.spec}: {exc!r}", file=sys.stderr)
+        return 2
+    derived = plan is None
+    try:
+        if plan is None:
+            plan = build_plan(old_bounds, new_bounds, phases, arrays)
+        violations = verify_plan(
+            plan, old_bounds, new_bounds, phases, arrays, raise_on_error=False
+        )
+    except PlanCheckError as exc:
+        # fatal structural breaches (e.g. rank-count mismatch) raise even
+        # with raise_on_error=False; report them like any violation list
+        violations = exc.violations
+    if violations:
+        for v in violations:
+            print(v)
+        print(f"plan: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        src = "derived" if derived else "supplied"
+        print(
+            f"plan OK ({src}): {len(plan.sends)} transfer(s), "
+            f"{plan.rows_sent()} row(s) moving across "
+            f"{len(new_bounds)} rank(s)"
+        )
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    try:
+        findings = lint_paths(args.paths)
+    except OSError as exc:
+        print(f"lint: cannot read {exc.filename}: {exc.strerror}",
+              file=sys.stderr)
+        return 2
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print("lint: clean")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="dynsan: Dyn-MPI communication-correctness analyzers",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_lint = sub.add_parser("lint", help="project-specific AST lint")
+    p_lint.add_argument("paths", nargs="+", help="files or directories")
+    p_lint.add_argument("--quiet", action="store_true")
+    p_lint.set_defaults(fn=_cmd_lint)
+
+    p_plan = sub.add_parser("plan", help="verify a redistribution plan")
+    p_plan.add_argument("spec", help="JSON plan spec (see module docstring)")
+    p_plan.add_argument("--quiet", action="store_true")
+    p_plan.set_defaults(fn=_cmd_plan)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

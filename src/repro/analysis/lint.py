@@ -1,0 +1,294 @@
+"""Project-specific AST lint (the lint layer of dynsan).
+
+Generic linters cannot know that this codebase's endpoint operations
+are *generators*: ``ep.send(...)`` as a bare statement builds a
+generator object, drops it, and silently sends nothing.  Nor can they
+know that :mod:`repro.simcluster` and :mod:`repro.core` must stay
+bit-for-bit deterministic (wallclock or unseeded randomness there
+breaks reproducibility and the redistribution lockstep).  These checks
+are encoded here:
+
+=======  ==========================================================
+code     meaning
+=======  ==========================================================
+DYN001   generator endpoint/collective call used as a bare statement
+         (silent no-op — drive it with ``yield from``)
+DYN002   ``yield gen_call(...)`` where ``yield from`` is required
+         (yields the generator object as a bogus syscall)
+DYN101   wallclock/randomness in a deterministic zone
+         (``simcluster``/``core``): ``time.time``-family calls,
+         the ``random`` module, unseeded or convenience
+         ``numpy.random`` entry points
+DYN201   mutable default on a dataclass field (shared-state bug;
+         includes numpy-array defaults the stdlib check misses)
+=======  ==========================================================
+
+Suppress a finding by putting ``# dynsan: ok`` on the offending line.
+Run as ``python -m repro.analysis lint <paths...>``; exits non-zero
+when findings remain, which is the CI gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["LintFinding", "lint_source", "lint_file", "lint_paths"]
+
+#: endpoint/runtime methods that return generators and must be driven
+GENERATOR_METHODS = frozenset({
+    "send", "recv", "sendrecv", "wait",
+    "send_rel", "recv_rel", "sendrecv_rel",
+    "allreduce_active", "allgather_active", "bcast_active", "global_reduce",
+    "begin_cycle", "end_cycle", "compute",
+})
+
+#: module-level generator functions (collectives, redistribution)
+GENERATOR_FUNCS = frozenset({
+    "barrier", "bcast", "reduce", "allreduce", "gather", "scatter",
+    "allgather", "allgather_dissemination", "alltoallv", "redistribute",
+})
+
+#: path components marking the zones that must stay deterministic
+DETERMINISTIC_ZONES = ("simcluster", "core")
+
+#: wallclock / entropy calls banned inside deterministic zones
+_BANNED_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns", "time.process_time",
+    "datetime.datetime.now", "datetime.datetime.utcnow", "datetime.date.today",
+    "os.urandom", "uuid.uuid4",
+})
+
+#: numpy.random attributes that are fine with an explicit seed argument
+_NP_RANDOM_ALLOWED = frozenset({"default_rng", "SeedSequence", "Generator",
+                                "PCG64", "Philox", "BitGenerator"})
+
+_MUTABLE_CTORS = frozenset({"list", "dict", "set", "bytearray"})
+_NP_ARRAY_CTORS = frozenset({"zeros", "ones", "empty", "full", "array",
+                             "arange", "eye"})
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, source: str, *, deterministic_zone: bool):
+        self.path = path
+        self.lines = source.splitlines()
+        self.zone = deterministic_zone
+        self.findings: list[LintFinding] = []
+        #: local alias -> real module name (import numpy as np)
+        self.aliases: dict[str, str] = {}
+        #: names imported *from* banned modules (from random import choice)
+        self.from_random: set[str] = set()
+
+    # -- helpers --------------------------------------------------------
+    def _suppressed(self, node: ast.AST) -> bool:
+        line = getattr(node, "lineno", 0)
+        if 1 <= line <= len(self.lines):
+            return "dynsan: ok" in self.lines[line - 1]
+        return False
+
+    def _emit(self, node: ast.AST, code: str, message: str) -> None:
+        if not self._suppressed(node):
+            self.findings.append(LintFinding(
+                self.path, node.lineno, node.col_offset, code, message
+            ))
+
+    def _resolve(self, dotted: Optional[str]) -> Optional[str]:
+        """Rewrite the leading alias of a dotted path to its module."""
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        real = self.aliases.get(head, head)
+        return f"{real}.{rest}" if rest else real
+
+    def _is_generator_call(self, node: ast.AST) -> Optional[str]:
+        """Return a short description if ``node`` calls a known
+        generator endpoint/collective, else None."""
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in GENERATOR_METHODS:
+            base = _dotted_name(func.value)
+            return f"{base or '<expr>'}.{func.attr}(...)"
+        if isinstance(func, ast.Name) and func.id in GENERATOR_FUNCS:
+            return f"{func.id}(...)"
+        return None
+
+    # -- imports (alias tracking + DYN101 on the import itself) ---------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = \
+                alias.name.split(".")[0]
+            if self.zone and alias.name.split(".")[0] == "random":
+                self._emit(node, "DYN101",
+                           "the `random` module is nondeterministic state "
+                           "shared across the process; use the cluster's "
+                           "seeded StreamRegistry instead")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self.zone and node.module and node.module.split(".")[0] == "random":
+            self._emit(node, "DYN101",
+                       "importing from `random` breaks determinism; use the "
+                       "cluster's seeded StreamRegistry instead")
+            self.from_random.update(a.asname or a.name for a in node.names)
+        self.generic_visit(node)
+
+    # -- DYN001: bare generator statement -------------------------------
+    def visit_Expr(self, node: ast.Expr) -> None:
+        desc = self._is_generator_call(node.value)
+        if desc is not None:
+            self._emit(node, "DYN001",
+                       f"{desc} returns a generator that was dropped — this "
+                       f"sends/receives nothing; drive it with `yield from`")
+        self.generic_visit(node)
+
+    # -- DYN002: yield instead of yield from ----------------------------
+    def visit_Yield(self, node: ast.Yield) -> None:
+        desc = self._is_generator_call(node.value) if node.value else None
+        if desc is not None:
+            self._emit(node, "DYN002",
+                       f"`yield {desc}` hands the kernel a generator object "
+                       f"instead of driving it; use `yield from`")
+        self.generic_visit(node)
+
+    # -- DYN101: wallclock / randomness calls ---------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.zone:
+            dotted = self._resolve(_dotted_name(node.func))
+            if dotted is not None:
+                if dotted in _BANNED_CALLS:
+                    self._emit(node, "DYN101",
+                               f"`{dotted}()` reads wallclock/entropy inside a "
+                               f"deterministic zone; use simulator time "
+                               f"(`sim.now`) or a seeded stream")
+                elif dotted.startswith("random."):
+                    self._emit(node, "DYN101",
+                               f"`{dotted}()` uses the global random state; "
+                               f"use the cluster's seeded StreamRegistry")
+                elif dotted.startswith("numpy.random."):
+                    attr = dotted.split(".", 2)[2]
+                    if attr not in _NP_RANDOM_ALLOWED:
+                        self._emit(node, "DYN101",
+                                   f"`{dotted}()` draws from numpy's global "
+                                   f"random state; construct a seeded "
+                                   f"Generator instead")
+                    elif attr == "default_rng" and not node.args and not node.keywords:
+                        self._emit(node, "DYN101",
+                                   "`default_rng()` without a seed is entropy-"
+                                   "seeded; pass an explicit seed")
+            if isinstance(node.func, ast.Name) and node.func.id in self.from_random:
+                self._emit(node, "DYN101",
+                           f"`{node.func.id}()` (from random) uses the global "
+                           f"random state; use a seeded stream")
+        self.generic_visit(node)
+
+    # -- DYN201: mutable dataclass defaults -----------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._is_dataclass(node):
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    reason = self._mutable_default(stmt.value)
+                    if reason is not None:
+                        self._emit(stmt, "DYN201",
+                                   f"dataclass field default is a mutable "
+                                   f"{reason} shared by every instance; use "
+                                   f"`field(default_factory=...)`")
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_dataclass(node: ast.ClassDef) -> bool:
+        for dec in node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            dotted = _dotted_name(target)
+            if dotted in ("dataclass", "dataclasses.dataclass"):
+                return True
+        return False
+
+    @staticmethod
+    def _mutable_default(value: ast.AST) -> Optional[str]:
+        if isinstance(value, (ast.List, ast.Set)):
+            return "literal list/set"
+        if isinstance(value, ast.Dict):
+            return "literal dict"
+        if isinstance(value, ast.Call):
+            dotted = _dotted_name(value.func)
+            if dotted in _MUTABLE_CTORS:
+                return f"{dotted}()"
+            if dotted is not None and "." in dotted:
+                head, _, attr = dotted.rpartition(".")
+                if attr in _NP_ARRAY_CTORS and head.split(".")[-1] in (
+                    "np", "numpy"
+                ):
+                    return f"{dotted}() array"
+        return None
+
+
+def _in_deterministic_zone(path: pathlib.Path) -> bool:
+    return any(part in DETERMINISTIC_ZONES for part in path.parts)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    deterministic_zone: bool = False,
+) -> list[LintFinding]:
+    """Lint python ``source``; ``deterministic_zone`` enables DYN101."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [LintFinding(path, exc.lineno or 0, exc.offset or 0,
+                            "DYN000", f"syntax error: {exc.msg}")]
+    linter = _Linter(path, source, deterministic_zone=deterministic_zone)
+    linter.visit(tree)
+    return sorted(linter.findings, key=lambda f: (f.path, f.line, f.col))
+
+
+def lint_file(path: pathlib.Path) -> list[LintFinding]:
+    return lint_source(
+        path.read_text(encoding="utf-8"),
+        str(path),
+        deterministic_zone=_in_deterministic_zone(path),
+    )
+
+
+def lint_paths(paths: Iterable[str | pathlib.Path]) -> list[LintFinding]:
+    """Lint files and/or directory trees (``*.py``, recursively)."""
+    findings: list[LintFinding] = []
+    for raw in paths:
+        p = pathlib.Path(raw)
+        files: Sequence[pathlib.Path]
+        if p.is_dir():
+            files = sorted(p.rglob("*.py"))
+        else:
+            files = [p]
+        for f in files:
+            findings.extend(lint_file(f))
+    return findings

@@ -1,0 +1,322 @@
+"""Runtime MPI sanitizer (the MUST-style layer of dynsan).
+
+When enabled, every :class:`~repro.simcluster.cluster.Cluster` owns a
+:class:`CommSanitizer` and the MPI layer reports message life-cycle
+events to it:
+
+* every injected message (eager or rendezvous) until a receive
+  consumes it;
+* every posted receive until a message matches it;
+* every rank's blocking state (what it waits on, and on whom);
+* every collective entry (group, tag, algorithm name, root).
+
+From these the sanitizer provides two services:
+
+**Fail-fast deadlock detection.**  Each blocked rank contributes at
+most one *wait-for* edge: a receiver with an explicit source waits on
+that source (unless a matching message is already in flight), and a
+rendezvous sender waits on its destination (unless the destination has
+already posted a matching receive).  Whenever a rank blocks — reported
+both by the comm layer and by the kernel's block watchdog — the
+sanitizer walks the edge chain; a cycle raises
+:class:`~repro.errors.CommDeadlockError` naming every rank in the
+cycle and its pending operation.  This converts the classic
+head-to-head rendezvous send (and recv/recv cycles) into an immediate
+diagnostic instead of a drained-heap :class:`DeadlockError` — or, on a
+cluster with periodic daemons, instead of an unbounded hang.
+
+**Finalize-time accounting.**  :meth:`CommSanitizer.finalize` reports
+messages that were sent but never received, receives that were posted
+but never matched, collectives entered by only part of their group,
+and ANY_SOURCE receives that raced with multiple in-flight candidates
+(a warning — wildcard gathers are legitimate, but the match order is
+implementation-defined in real MPI).
+
+Enabling: ``ClusterSpec(sanitize=True)`` or ``DYNMPI_SANITIZE=1`` in
+the environment (``sanitize=False`` wins over the variable; the
+default ``None`` defers to it).  The sanitizer is strictly opt-in and
+adds zero work when off — benchmarks guard this.
+
+This module deliberately imports nothing from :mod:`repro.mpi` or
+:mod:`repro.simcluster` (the cluster imports *us*), so the wildcard
+constants are mirrored here.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import CommDeadlockError, SanitizerError
+
+__all__ = ["CommSanitizer", "SanitizerReport", "sanitizer_enabled"]
+
+#: mirror of repro.mpi.status.ANY_SOURCE / ANY_TAG (import cycle)
+_ANY = -1
+
+
+def sanitizer_enabled(spec: Any) -> bool:
+    """Resolve the opt-in: explicit ``spec.sanitize`` wins, the
+    ``DYNMPI_SANITIZE`` environment variable fills in for ``None``."""
+    explicit = getattr(spec, "sanitize", None)
+    if explicit is not None:
+        return bool(explicit)
+    return os.environ.get("DYNMPI_SANITIZE", "0") not in ("", "0")
+
+
+def _tag_matches(wanted: int, actual: int) -> bool:
+    return wanted in (_ANY, actual)
+
+
+@dataclass
+class _MsgRec:
+    """An injected message not yet consumed by a receive."""
+
+    src: int
+    dst: int
+    tag: int
+    nbytes: int
+    rendezvous: bool
+
+    def describe(self) -> str:
+        kind = "rendezvous" if self.rendezvous else "eager"
+        return f"{kind} send {self.src}->{self.dst} tag={self.tag} ({self.nbytes}B)"
+
+
+@dataclass
+class _RecvRec:
+    """A posted receive not yet matched."""
+
+    rank: int
+    source: int
+    tag: int
+
+    def describe(self) -> str:
+        src = "ANY_SOURCE" if self.source == _ANY else str(self.source)
+        tag = "ANY_TAG" if self.tag == _ANY else str(self.tag)
+        return f"recv posted by {self.rank} from {src} tag={tag}"
+
+
+@dataclass
+class _BlockRec:
+    """What a blocked rank is waiting on."""
+
+    kind: str            # "recv" | "recv-poll" | "send-rdv" | "recv-data"
+    peer: int            # source (recv) or destination (send); may be _ANY
+    tag: int
+    env_key: int = 0     # id() of the rendezvous envelope, for send-rdv
+
+    def describe(self) -> str:
+        if self.kind in ("recv", "recv-poll"):
+            src = "ANY_SOURCE" if self.peer == _ANY else f"rank {self.peer}"
+            return f"blocked in recv from {src} (tag={self.tag})"
+        if self.kind == "send-rdv":
+            return f"blocked in rendezvous send to rank {self.peer} (tag={self.tag})"
+        return f"blocked waiting for rendezvous data from rank {self.peer}"
+
+
+@dataclass
+class _CollRec:
+    """First-entrant record for one collective (group id, tag)."""
+
+    name: str
+    root: Optional[int]
+    group_size: int
+    entered: set = field(default_factory=set)
+
+
+@dataclass
+class SanitizerReport:
+    """Outcome of :meth:`CommSanitizer.finalize`."""
+
+    errors: list = field(default_factory=list)
+    warnings: list = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.errors and not self.warnings
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        lines = [f"E: {e}" for e in self.errors] + [f"W: {w}" for w in self.warnings]
+        return "\n".join(lines) or "sanitizer: clean"
+
+
+class CommSanitizer:
+    """Tracks in-flight communication state for one cluster.
+
+    All hooks are O(pending ops) at worst and touch nothing global;
+    the comm layer only calls them when the cluster was built with the
+    sanitizer enabled.
+    """
+
+    def __init__(self) -> None:
+        self._msgs: dict[int, _MsgRec] = {}        # id(envelope) -> record
+        self._recvs: dict[int, _RecvRec] = {}      # id(_PendingRecv) -> record
+        self._blocked: dict[int, _BlockRec] = {}   # rank -> record
+        self._colls: dict[tuple, _CollRec] = {}    # (group gid, tag) -> record
+        self.warnings: list[str] = []
+        self.n_sends = 0
+        self.n_matches = 0
+
+    # ------------------------------------------------------------------
+    # message life cycle (called from repro.mpi.comm)
+    # ------------------------------------------------------------------
+    def on_send(self, env) -> None:
+        self.n_sends += 1
+        self._msgs[id(env)] = _MsgRec(
+            env.src, env.dst, env.tag, env.nbytes, env.rendezvous
+        )
+
+    def on_recv_posted(self, key: int, rank: int, source: int, tag: int) -> None:
+        self._recvs[key] = _RecvRec(rank, source, tag)
+
+    def on_match(
+        self,
+        env,
+        rank: int,
+        source: int,
+        tag: int,
+        post_key: Optional[int] = None,
+    ) -> None:
+        """A receive consumed ``env`` at ``rank`` (query ``source``/``tag``)."""
+        self.n_matches += 1
+        self._msgs.pop(id(env), None)
+        if post_key is not None:
+            self._recvs.pop(post_key, None)
+        # The match satisfies the rank's recv wait even though the kernel
+        # has not resumed it yet; keeping the block record past this point
+        # would let the chain walk see a phantom edge (the suppressing
+        # message was just popped above).
+        blk = self._blocked.get(rank)
+        if blk is not None and blk.kind in ("recv", "recv-poll"):
+            del self._blocked[rank]
+        if source == _ANY:
+            rivals = sorted({
+                m.src for m in self._msgs.values()
+                if m.dst == rank and m.src != env.src and _tag_matches(tag, m.tag)
+            })
+            if rivals:
+                self.warnings.append(
+                    f"ANY_SOURCE race: recv at rank {rank} (tag="
+                    f"{'ANY_TAG' if tag == _ANY else tag}) matched source "
+                    f"{env.src} while sources {rivals} also had matching "
+                    f"messages pending"
+                )
+
+    # ------------------------------------------------------------------
+    # blocking state + wait-for-graph deadlock detection
+    # ------------------------------------------------------------------
+    def on_block(
+        self, rank: int, kind: str, peer: int, tag: int, env=None
+    ) -> None:
+        self._blocked[rank] = _BlockRec(kind, peer, tag, 0 if env is None else id(env))
+        self.check_deadlock()
+
+    def on_unblock(self, rank: int) -> None:
+        self._blocked.pop(rank, None)
+
+    def kernel_block_hook(self, proc, request) -> None:
+        """Kernel watchdog: re-check the wait-for graph whenever *any*
+        simulated process blocks (see ``Simulator.add_watchdog``)."""
+        self.check_deadlock()
+
+    def _wait_edge(self, rank: int, b: _BlockRec) -> Optional[int]:
+        """The rank this blocked rank is definitely waiting on, or None.
+
+        Edges are conservative: any already-pending message (or posted
+        receive, for a rendezvous sender) that could resolve the wait
+        suppresses the edge, so a reported cycle is a true deadlock.
+        """
+        if b.kind in ("recv", "recv-poll"):
+            if b.peer == _ANY:
+                return None
+            for m in self._msgs.values():
+                if m.src == b.peer and m.dst == rank and _tag_matches(b.tag, m.tag):
+                    return None
+            return b.peer
+        if b.kind == "send-rdv":
+            if b.env_key not in self._msgs:
+                return None  # RTS consumed: the transfer is in progress
+            for r in self._recvs.values():
+                if (
+                    r.rank == b.peer
+                    and r.source in (_ANY, rank)
+                    and r.tag in (_ANY, b.tag)
+                ):
+                    return None
+            return b.peer
+        return None  # recv-data: pure network events, always progresses
+
+    def check_deadlock(self) -> None:
+        """Walk wait-for chains from every blocked rank; raise
+        :class:`CommDeadlockError` on the first cycle found."""
+        edges: dict[int, int] = {}
+        for rank, b in self._blocked.items():
+            peer = self._wait_edge(rank, b)
+            if peer is not None and peer in self._blocked:
+                edges[rank] = peer
+        for start in edges:
+            path: list[int] = []
+            seen: set[int] = set()
+            cur: Optional[int] = start
+            while cur is not None and cur in edges and cur not in seen:
+                seen.add(cur)
+                path.append(cur)
+                cur = edges[cur]
+            if cur is not None and cur in seen:
+                cycle = path[path.index(cur):]
+                ops = {r: self._blocked[r].describe() for r in cycle}
+                raise CommDeadlockError(cycle, ops)
+
+    # ------------------------------------------------------------------
+    # collectives (called from repro.mpi.collectives)
+    # ------------------------------------------------------------------
+    def on_collective(
+        self,
+        rank: int,
+        gid: int,
+        tag: int,
+        name: str,
+        root: Optional[int],
+        group_size: int,
+    ) -> None:
+        rec = self._colls.get((gid, tag))
+        if rec is None:
+            self._colls[(gid, tag)] = _CollRec(name, root, group_size, {rank})
+            return
+        if rec.name != name or rec.root != root:
+            raise SanitizerError(
+                f"collective mismatch on group {gid} tag {tag}: rank {rank} "
+                f"entered {name}(root={root}) but rank(s) "
+                f"{sorted(rec.entered)} entered {rec.name}(root={rec.root}) "
+                f"— SPMD ordering violation"
+            )
+        rec.entered.add(rank)
+
+    # ------------------------------------------------------------------
+    # finalize
+    # ------------------------------------------------------------------
+    def finalize(self, *, raise_on_error: bool = True) -> SanitizerReport:
+        """Report leftover state after a run.  With ``raise_on_error``
+        (the default), unmatched sends/recvs raise
+        :class:`SanitizerError`; warnings never raise."""
+        report = SanitizerReport(warnings=list(self.warnings))
+        for m in self._msgs.values():
+            report.errors.append(f"unmatched send: {m.describe()}")
+        for r in self._recvs.values():
+            report.errors.append(f"unmatched receive: {r.describe()}")
+        for (gid, tag), rec in sorted(self._colls.items()):
+            if 0 < len(rec.entered) < rec.group_size:
+                report.warnings.append(
+                    f"incomplete collective {rec.name} (group {gid}, tag "
+                    f"{tag}): only ranks {sorted(rec.entered)} of "
+                    f"{rec.group_size} entered"
+                )
+        if report.errors and raise_on_error:
+            raise SanitizerError(
+                "sanitizer finalize found "
+                f"{len(report.errors)} error(s):\n  "
+                + "\n  ".join(report.errors)
+            )
+        return report

@@ -12,13 +12,13 @@ returns an :class:`AppResult`.  The same program runs in three guises:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional
 
 import numpy as np
 
 from ..config import RuntimeSpec
-from ..core import DynMPIJob, RuntimeEvent
+from ..core import DynMPIJob
 from ..core.runtime import DynMPI
 from ..simcluster import Cluster, LoadScript
 

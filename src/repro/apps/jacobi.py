@@ -9,7 +9,7 @@ program written against the Dyn-MPI API of Figure 2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Generator
 
 import numpy as np
 

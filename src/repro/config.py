@@ -113,10 +113,17 @@ class ClusterSpec:
     network: NetworkSpec = field(default_factory=NetworkSpec)
     seed: int = 0
     name: str = "cluster"
+    #: communication sanitizer (``repro.analysis``): True/False force it
+    #: on/off; None (the default) defers to the ``DYNMPI_SANITIZE``
+    #: environment variable.  Keep it off for benchmarks — the hooks
+    #: add per-message bookkeeping.
+    sanitize: bool | None = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
             raise ConfigError(f"need at least one node, got {self.n_nodes}")
+        if self.sanitize not in (None, True, False):
+            raise ConfigError(f"sanitize must be True/False/None, got {self.sanitize!r}")
 
     def with_nodes(self, n_nodes: int) -> "ClusterSpec":
         return replace(self, n_nodes=n_nodes)

@@ -18,7 +18,7 @@ Constants mirror the paper's:
 
 from __future__ import annotations
 
-from typing import Generator, Optional, Sequence
+from typing import Generator, Optional
 
 import numpy as np
 

@@ -30,7 +30,7 @@ import numpy as np
 
 from ..config import ClusterSpec, NetworkSpec
 from ..errors import ConfigError
-from ..simcluster import Cluster, Compute
+from ..simcluster import Cluster
 
 __all__ = [
     "CommCostModel",

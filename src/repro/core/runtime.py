@@ -55,7 +55,7 @@ from ..sysmon import DmpiPs, HrTimer, ProcClock
 from .balance import successive_balance
 from .commcost import CommCostModel, PhasePattern, measure_comm_model
 from .distribution import BlockDistribution, shares_to_blocks
-from .drsd import DRSD, AccessMode
+from .drsd import DRSD
 from .loadmon import LoadMonitor
 from .phase import Phase
 from .redistribute import needed_map, redistribute
@@ -139,6 +139,8 @@ class DynMPIJob:
             self.ps.register_monitored(node.node_id, proc)
             procs.append(proc)
         self.cluster.sim.run_all(procs, until=until)
+        if self.cluster.sanitizer is not None:
+            self.cluster.sanitizer.finalize()
         return [p.result for p in procs]
 
 
@@ -697,6 +699,13 @@ class DynMPI:
             ))
 
     def _apply_bounds(self, new_bounds) -> Generator:
+        if self.job.cluster.sanitizer is not None:
+            # dynsan self-check: verify the Section 4.4 invariants of
+            # the derived plan before any row moves (raises PlanCheckError)
+            from ..analysis.plancheck import verify_transition
+            array_rows = {name: arr.n_rows for name, arr in self.arrays.items()}
+            verify_transition(self.bounds, tuple(new_bounds), self.phases,
+                              array_rows)
         needed = self._needed(new_bounds)
         report = yield from redistribute(
             self.ep, self.active_group, self.bounds, new_bounds,

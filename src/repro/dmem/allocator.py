@@ -14,7 +14,7 @@ footprint exceeds node memory.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import AllocationError
 

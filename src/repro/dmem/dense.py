@@ -19,7 +19,7 @@ only timing matters; both modes drive identical runtime code paths).
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 

@@ -28,6 +28,44 @@ class DeadlockError(SimulationError):
         super().__init__(f"simulation deadlock; blocked processes: {names}")
 
 
+class SanitizerError(ReproError):
+    """The communication sanitizer (``repro.analysis``) found a
+    correctness violation: an unmatched send/recv, a mismatched
+    collective, or an inconsistent redistribution plan."""
+
+
+class CommDeadlockError(DeadlockError):
+    """The runtime sanitizer found a wait-for cycle among blocked ranks.
+
+    Unlike :class:`DeadlockError` (raised only when the event heap
+    drains), this fires the moment the cycle closes, so simulations
+    with periodic daemons fail fast instead of hanging.
+    """
+
+    def __init__(self, cycle: list[int], ops: dict[int, str]):
+        self.cycle = list(cycle)
+        self.ops = dict(ops)
+        parts = "; ".join(f"rank {r} {ops.get(r, 'blocked')}" for r in self.cycle)
+        # bypass DeadlockError.__init__ message formatting but keep its API
+        self.blocked = [f"rank{r}" for r in self.cycle]
+        Exception.__init__(
+            self, f"communication deadlock among ranks "
+            f"{self.cycle}: {parts}"
+        )
+
+
+class PlanCheckError(ReproError):
+    """A redistribution plan failed static verification."""
+
+    def __init__(self, violations):
+        self.violations = list(violations)
+        lines = "\n  ".join(str(v) for v in self.violations)
+        super().__init__(
+            f"redistribution plan failed verification "
+            f"({len(self.violations)} violation(s)):\n  {lines}"
+        )
+
+
 class MPIError(ReproError):
     """Misuse of the simulated MPI layer (bad rank, tag, truncation...)."""
 

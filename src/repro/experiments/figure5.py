@@ -21,7 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
-import numpy as np
 
 from ..apps import JacobiConfig, jacobi_program
 from ..config import RuntimeSpec, pentium_cluster

@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
-import numpy as np
 
 from ..apps import SORConfig, sor_program
 from ..config import RuntimeSpec, ultrasparc_cluster

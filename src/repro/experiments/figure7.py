@@ -15,10 +15,9 @@ GP=5 beats GP=1 by ~13% (Part=10) and ~16% (Part=50).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
-import numpy as np
 
 from ..apps import ParticleConfig, particle_program
 from ..config import RuntimeSpec, pentium_cluster

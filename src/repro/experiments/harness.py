@@ -11,13 +11,13 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional
 
 import numpy as np
 
 from ..apps import AppResult, run_program
-from ..config import ClusterSpec, RuntimeSpec, pentium_cluster, ultrasparc_cluster
-from ..simcluster import Cluster, CycleTrigger, LoadScript, single_competitor
+from ..config import ClusterSpec, RuntimeSpec
+from ..simcluster import Cluster, LoadScript
 
 __all__ = [
     "bench_scale",

@@ -17,9 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-import numpy as np
-
-from ..config import RuntimeSpec, pentium_cluster
+from ..config import pentium_cluster
 from ..core import (
     CommCostModel,
     NearestNeighbor,
@@ -28,10 +26,8 @@ from ..core import (
     predict_times,
 )
 from ..core.power import available_powers
-from ..apps import JacobiConfig, jacobi_program
-from ..simcluster import Cluster, Compute, Sleep, single_competitor
+from ..simcluster import Cluster, Compute, Sleep
 from ..sysmon import DmpiPs, Vmstat
-from .harness import Scenario, bench_scale, scaled, scaled_spec
 from .report import format_table
 
 __all__ = [

@@ -18,7 +18,7 @@ does (e.g. bcast is O(log n) rounds).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Optional, Sequence
+from typing import Any, Generator, Optional, Sequence
 
 from ..errors import MPIError
 from .comm import Endpoint
@@ -44,11 +44,24 @@ def _check_member(ep: Endpoint, group: Group) -> int:
     return group.rel(ep.rank)
 
 
+
+def _san_enter(ep: Endpoint, group: Group, tag: int, name: str,
+               root: Optional[int] = None) -> None:
+    """Report a collective entry to the communication sanitizer (when
+    enabled): every member of ``group`` must enter the same collective,
+    with the same root, under the same tag — the SPMD contract."""
+    san = ep.comm.san
+    if san is not None:
+        san.on_collective(group.rel(ep.rank), group.gid, tag, name, root,
+                          group.size)
+
+
 def barrier(ep: Endpoint, group: Group) -> Generator:
     """Dissemination barrier: ceil(log2 n) rounds of tiny messages."""
     me = _check_member(ep, group)
     n = group.size
     tag = group.next_tag(me)
+    _san_enter(ep, group, tag, "barrier")
     k = 1
     while k < n:
         dst = group.world((me + k) % n)
@@ -65,6 +78,7 @@ def bcast(ep: Endpoint, group: Group, value: Any = None, root: int = 0) -> Gener
     me = _check_member(ep, group)
     n = group.size
     tag = group.next_tag(me)
+    _san_enter(ep, group, tag, "bcast", root)
     # rotate so the root is virtual rank 0 (MPICH-style binomial tree)
     vrank = (me - root) % n
     mask = 1
@@ -96,6 +110,7 @@ def reduce(
     me = _check_member(ep, group)
     n = group.size
     tag = group.next_tag(me)
+    _san_enter(ep, group, tag, "reduce", root)
     vrank = (me - root) % n
     acc = value
     mask = 1
@@ -131,6 +146,7 @@ def gather(
     me = _check_member(ep, group)
     n = group.size
     tag = group.next_tag(me)
+    _san_enter(ep, group, tag, "gather", root)
     if me != root:
         yield from ep.send(group.world(root), tag, value)
         return None
@@ -152,6 +168,7 @@ def scatter(
     me = _check_member(ep, group)
     n = group.size
     tag = group.next_tag(me)
+    _san_enter(ep, group, tag, "scatter", root)
     if me == root:
         if values is None or len(values) != n:
             raise MPIError(f"scatter root needs exactly {n} values")
@@ -173,6 +190,7 @@ def allgather(ep: Endpoint, group: Group, value: Any) -> Generator:
     me = _check_member(ep, group)
     n = group.size
     tag = group.next_tag(me)
+    _san_enter(ep, group, tag, "allgather")
     out: list[Any] = [None] * n
     out[me] = value
     right = group.world((me + 1) % n)
@@ -197,6 +215,7 @@ def allgather_dissemination(ep: Endpoint, group: Group, value: Any) -> Generator
     me = _check_member(ep, group)
     n = group.size
     tag = group.next_tag(me)
+    _san_enter(ep, group, tag, "allgather_dissemination")
     have: dict[int, Any] = {me: value}
     k = 1
     while k < n:
@@ -226,6 +245,7 @@ def alltoallv(
     if len(blocks) != n:
         raise MPIError(f"alltoallv needs exactly {n} blocks, got {len(blocks)}")
     tag = group.next_tag(me)
+    _san_enter(ep, group, tag, "alltoallv")
     out: list[Any] = [None] * n
     out[me] = blocks[me]
     for step in range(1, n):

@@ -29,7 +29,7 @@ synchronous-mode large sends in common MPI implementations.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Generator, Optional
 
 import numpy as np
 
@@ -124,6 +124,8 @@ class SimComm:
         self._pending: list[list[_PendingRecv]] = [[] for _ in range(self.size)]
         self._endpoints = [Endpoint(self, r) for r in range(self.size)]
         self._seq = itertools.count()
+        # communication sanitizer (repro.analysis), or None when off
+        self.san = getattr(cluster, "sanitizer", None)
 
     def endpoint(self, rank: int) -> "Endpoint":
         if not (0 <= rank < self.size):
@@ -141,6 +143,9 @@ class SimComm:
         for i, req in enumerate(pending):
             if env.matches(req.source, req.tag):
                 del pending[i]
+                if self.san is not None:
+                    self.san.on_match(env, env.dst, req.source, req.tag,
+                                      post_key=id(req))
                 req.signal.fire(env)
                 return
         self._mailboxes[env.dst].append(env)
@@ -150,6 +155,8 @@ class SimComm:
         for i, env in enumerate(box):
             if env.matches(source, tag):
                 del box[i]
+                if self.san is not None:
+                    self.san.on_match(env, rank, source, tag)
                 return env
         return None
 
@@ -185,9 +192,12 @@ class Endpoint:
 
         env = _Envelope(self.rank, dest, tag, payload, nbytes)
         env.seq = next(comm._seq)
+        san = comm.san
         yield Compute(comm.net.cpu_cost(nbytes))
 
         if nbytes <= comm.net.spec.eager_threshold:
+            if san is not None:
+                san.on_send(env)
             comm.net.transmit(
                 self.node_id, comm.node_of(dest), nbytes,
                 lambda: comm._deliver(env),
@@ -200,11 +210,17 @@ class Endpoint:
         env.data_ready = False
         env.data_signal = comm.sim.signal(f"rdv-data:{self.rank}->{dest}:{tag}")
         env.sent_signal = comm.sim.signal(f"rdv-sent:{self.rank}->{dest}:{tag}")
+        if san is not None:
+            san.on_send(env)
         comm.net.transmit(
             self.node_id, comm.node_of(dest), _CTRL_BYTES,
             lambda: comm._deliver(env),
         )
+        if san is not None:
+            san.on_block(self.rank, "send-rdv", dest, tag, env=env)
         yield Wait(env.sent_signal)
+        if san is not None:
+            san.on_unblock(self.rank)
         return None
 
     def recv(
@@ -221,20 +237,31 @@ class Endpoint:
         behavior behind the paper's node-removal results.
         """
         comm = self.comm
+        san = comm.san
         env = comm._try_match(self.rank, source, tag)
         if env is None:
             if comm.net.spec.recv_mode == "polling":
                 node = comm.cluster.nodes[self.node_id]
                 chunk = node.spec.quantum * 0.01 * node.spec.speed
+                if san is not None:
+                    san.on_block(self.rank, "recv-poll", source, tag)
                 while True:
                     yield Compute(chunk)
                     env = comm._try_match(self.rank, source, tag)
                     if env is not None:
                         break
+                if san is not None:
+                    san.on_unblock(self.rank)
             else:
                 sig = comm.sim.signal(f"recv:{self.rank}")
-                comm._pending[self.rank].append(_PendingRecv(source, tag, sig))
+                pr = _PendingRecv(source, tag, sig)
+                comm._pending[self.rank].append(pr)
+                if san is not None:
+                    san.on_recv_posted(id(pr), self.rank, source, tag)
+                    san.on_block(self.rank, "recv", source, tag)
                 env = yield Wait(sig)
+                if san is not None:
+                    san.on_unblock(self.rank)
         if env.rendezvous and not env.data_ready:
             yield from self._pull_rendezvous(env)
         yield Compute(comm.net.cpu_cost(env.nbytes))
@@ -258,7 +285,11 @@ class Endpoint:
             env.sent_signal.fire(None)
 
         comm.net.transmit(self.node_id, src_node, _CTRL_BYTES, on_cts)
+        if comm.san is not None:
+            comm.san.on_block(self.rank, "recv-data", env.src, env.tag)
         yield Wait(env.data_signal)
+        if comm.san is not None:
+            comm.san.on_unblock(self.rank)
 
     def sendrecv(
         self,
@@ -297,6 +328,8 @@ class Endpoint:
         env = _Envelope(self.rank, dest, tag, payload, nbytes)
         env.seq = next(comm._seq)
         req = Request(self)
+        if comm.san is not None:
+            comm.san.on_send(env)
 
         # The CPU cost of injecting is charged through a shadow compute
         # job on this rank's node: it contends for the CPU without
@@ -356,7 +389,10 @@ class Endpoint:
             finish(env)
         else:
             sig = comm.sim.signal(f"irecv:{self.rank}")
-            comm._pending[self.rank].append(_PendingRecv(source, tag, sig))
+            pr = _PendingRecv(source, tag, sig)
+            comm._pending[self.rank].append(pr)
+            if comm.san is not None:
+                comm.san.on_recv_posted(id(pr), self.rank, source, tag)
             sig.add_waiter(finish)
         return req
 

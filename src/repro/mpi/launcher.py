@@ -12,7 +12,7 @@ from typing import Any, Callable, Optional, Sequence
 
 from ..errors import MPIError
 from ..simcluster import Cluster
-from .comm import Endpoint, SimComm
+from .comm import SimComm
 
 __all__ = ["run_spmd", "make_comm"]
 
@@ -51,4 +51,6 @@ def run_spmd(
         node = cluster.nodes[comm.node_of(rank)]
         procs.append(cluster.sim.spawn(gen, name=f"{name}{rank}", node=node))
     cluster.sim.run_all(procs, until=until)
+    if cluster.sanitizer is not None:
+        cluster.sanitizer.finalize()
     return [p.result for p in procs]

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..analysis.sanitizer import CommSanitizer, sanitizer_enabled
 from ..config import ClusterSpec
 from .kernel import Simulator
 from .network import Network
@@ -32,6 +33,10 @@ class Cluster:
         self.network = Network(self.sim, spec.network, spec.n_nodes)
         self.recorder = Recorder()
         self.load_script: Optional[LoadScript] = None
+        self.sanitizer: Optional[CommSanitizer] = None
+        if sanitizer_enabled(spec):
+            self.sanitizer = CommSanitizer()
+            self.sim.add_watchdog(self.sanitizer.kernel_block_hook)
 
     @property
     def n_nodes(self) -> int:

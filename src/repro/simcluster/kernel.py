@@ -145,6 +145,20 @@ class Simulator:
         self.processes: list[SimProcess] = []
         self.n_events = 0
         self._stopped = False
+        self._watchdogs: list[Callable[[SimProcess, Syscall], None]] = []
+
+    def add_watchdog(self, cb: Callable[[SimProcess, Syscall], None]) -> None:
+        """Register ``cb(proc, request)`` to run every time a process
+        blocks on a Wait/WaitAny.  Watchdogs may raise (e.g. the
+        communication sanitizer's wait-for-graph deadlock check turns a
+        would-be hang into an immediate diagnostic); the exception
+        propagates out of :meth:`run`.
+        """
+        self._watchdogs.append(cb)
+
+    def _notify_block(self, proc: SimProcess, request: Syscall) -> None:
+        for cb in self._watchdogs:
+            cb(proc, request)
 
     # ------------------------------------------------------------------
     # event scheduling
@@ -260,9 +274,13 @@ class Simulator:
         elif isinstance(request, Wait):
             proc.state = ProcState.BLOCKED
             request.signal.add_waiter(lambda v: self._wake(proc, v))
+            if self._watchdogs:
+                self._notify_block(proc, request)
         elif isinstance(request, WaitAny):
             proc.state = ProcState.BLOCKED
             self._wait_any(proc, list(request.signals))
+            if self._watchdogs:
+                self._notify_block(proc, request)
         elif isinstance(request, Fork):
             child = request.process
             child.sim = self

@@ -16,7 +16,6 @@ node) and exchanges samples between nodes with an allgather.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..errors import SimulationError
 from ..simcluster import Cluster, ProcState, Sleep

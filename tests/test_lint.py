@@ -1,0 +1,215 @@
+"""AST lint tests: each DYN code, suppression, zone scoping, the CLI
+gate, and the acceptance check that the real tree is clean."""
+
+import pathlib
+import textwrap
+
+from repro.analysis.lint import lint_file, lint_paths, lint_source
+
+SRC_ROOT = pathlib.Path(__file__).parent.parent / "src"
+
+
+def lint(code, *, zone=False):
+    return lint_source(textwrap.dedent(code), deterministic_zone=zone)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+# ----------------------------------------------------------------------
+# DYN001 / DYN002: undriven generator endpoint calls
+# ----------------------------------------------------------------------
+
+def test_bare_endpoint_send_is_caught():
+    findings = lint("""
+        def program(ep):
+            ep.send(1, tag=0, payload="lost")
+            yield from ep.recv(1, tag=1)
+    """)
+    assert codes(findings) == ["DYN001"]
+    assert "ep.send(...)" in findings[0].message
+    assert "yield from" in findings[0].message
+
+
+def test_bare_collective_call_is_caught():
+    findings = lint("""
+        def program(ep):
+            barrier(ep, group)
+            yield from bcast(ep, group, None, root=0)
+    """)
+    assert codes(findings) == ["DYN001"]
+
+
+def test_yield_instead_of_yield_from_is_caught():
+    findings = lint("""
+        def program(ep):
+            data, _ = yield ep.recv(0, tag=1)
+    """)
+    assert codes(findings) == ["DYN002"]
+
+
+def test_driven_calls_are_clean():
+    findings = lint("""
+        def program(ep):
+            yield from ep.send(1, tag=0, payload="ok")
+            data, _ = yield from ep.recv(1, tag=1)
+            gen = ep.send(1, tag=2, payload="kept")  # assigned, not dropped
+            yield from gen
+    """)
+    assert findings == []
+
+
+def test_unrelated_methods_named_send_do_not_fire_on_yield():
+    # ep.send(...) as a *driven* generator or non-endpooint contexts
+    findings = lint("""
+        def f(sock):
+            return sock.sendall(b"x")
+    """)
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# DYN101: nondeterminism in deterministic zones
+# ----------------------------------------------------------------------
+
+def test_wallclock_flagged_only_in_zone():
+    code = """
+        import time
+        def stamp():
+            return time.time()
+    """
+    assert codes(lint(code, zone=True)) == ["DYN101"]
+    assert lint(code, zone=False) == []
+
+
+def test_random_module_flagged_in_zone():
+    findings = lint("""
+        import random
+        def pick(xs):
+            return random.choice(xs)
+    """, zone=True)
+    assert codes(findings) == ["DYN101", "DYN101"]  # import + call
+
+
+def test_from_random_import_tracked():
+    findings = lint("""
+        from random import choice
+        def pick(xs):
+            return choice(xs)
+    """, zone=True)
+    assert codes(findings) == ["DYN101", "DYN101"]
+
+
+def test_numpy_global_random_flagged_alias_aware():
+    findings = lint("""
+        import numpy as np
+        def noise(n):
+            return np.random.rand(n)
+    """, zone=True)
+    assert codes(findings) == ["DYN101"]
+    assert "numpy.random.rand" in findings[0].message
+
+
+def test_seeded_generator_allowed_unseeded_flagged():
+    ok = lint("""
+        import numpy as np
+        def rng():
+            return np.random.default_rng(1234)
+    """, zone=True)
+    assert ok == []
+    bad = lint("""
+        import numpy as np
+        def rng():
+            return np.random.default_rng()
+    """, zone=True)
+    assert codes(bad) == ["DYN101"]
+
+
+def test_zone_detected_from_path(tmp_path):
+    zone_dir = tmp_path / "simcluster"
+    zone_dir.mkdir()
+    f = zone_dir / "mod.py"
+    f.write_text("import time\nt = time.time()\n")
+    assert codes(lint_file(f)) == ["DYN101"]
+    outside = tmp_path / "mod.py"
+    outside.write_text("import time\nt = time.time()\n")
+    assert lint_file(outside) == []
+
+
+# ----------------------------------------------------------------------
+# DYN201: mutable dataclass defaults
+# ----------------------------------------------------------------------
+
+def test_mutable_dataclass_defaults_flagged():
+    findings = lint("""
+        from dataclasses import dataclass, field
+        import numpy as np
+
+        @dataclass
+        class Bad:
+            xs: list = []
+            table: dict = {}
+            buf = np.zeros(4)  # un-annotated: not a field, ignored
+            arr: object = np.zeros(4)
+
+        @dataclass
+        class Good:
+            xs: list = field(default_factory=list)
+            n: int = 3
+    """)
+    assert codes(findings) == ["DYN201", "DYN201", "DYN201"]
+
+
+def test_non_dataclass_defaults_ignored():
+    findings = lint("""
+        class Plain:
+            xs: list = []
+    """)
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# suppression + syntax errors
+# ----------------------------------------------------------------------
+
+def test_suppression_comment():
+    findings = lint("""
+        def program(ep):
+            ep.send(1, tag=0, payload="x")  # dynsan: ok
+            yield from ep.recv(1, tag=1)
+    """)
+    assert findings == []
+
+
+def test_syntax_error_reported_as_dyn000():
+    findings = lint_source("def f(:\n", path="broken.py")
+    assert codes(findings) == ["DYN000"]
+
+
+# ----------------------------------------------------------------------
+# the gates: real tree is clean; CLI exit codes
+# ----------------------------------------------------------------------
+
+def test_src_tree_is_clean():
+    findings = lint_paths([SRC_ROOT])
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+def test_cli_clean_and_dirty(tmp_path, capsys):
+    from repro.analysis.__main__ import main
+
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert main(["lint", str(clean)]) == 0
+    assert "lint: clean" in capsys.readouterr().out
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(
+        "def program(ep):\n"
+        "    ep.send(1, tag=0, payload='lost')\n"
+        "    yield from ep.recv(1, tag=1)\n"
+    )
+    assert main(["lint", str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "DYN001" in out and "dirty.py:2" in out
