@@ -20,7 +20,7 @@ from repro.experiments import (
 
 def test_balance_ablation_predictions(benchmark, record_table):
     rows = benchmark.pedantic(run_balance_ablation, rounds=1, iterations=1)
-    record_table("ablation_balance", format_balance_ablation(rows))
+    record_table("ablation_balance", format_balance_ablation(rows), data=rows)
     # the comm-aware solution never loses, and its edge grows as
     # communication's share of the cycle grows
     gains = [r.gain for r in rows]

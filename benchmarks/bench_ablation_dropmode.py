@@ -60,7 +60,11 @@ def test_physical_vs_logical_drop(benchmark, record_table):
         ],
         title="Ablation — physical vs logical dropping (SOR, 16 nodes, 3 CPs)",
     )
-    record_table("ablation_dropmode", table)
+    record_table("ablation_dropmode", table, data={
+        mode: {"steady_cycle_ms": v * 1e3,
+               "events": [ev.kind for ev in results[mode].events]}
+        for mode, v in (("physical", phys), ("logical", logi))
+    })
     assert any(ev.kind == "drop" for ev in results["physical"].events)
     assert any(ev.kind == "logical_drop" for ev in results["logical"].events)
     # the paper's claim: physical dropping is the faster policy

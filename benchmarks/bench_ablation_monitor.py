@@ -15,7 +15,7 @@ from repro.experiments import format_monitor_ablation, run_monitor_ablation
 
 def test_monitor_ablation(benchmark, record_table):
     rows = benchmark.pedantic(run_monitor_ablation, rounds=1, iterations=1)
-    record_table("ablation_monitor", format_monitor_ablation(rows))
+    record_table("ablation_monitor", format_monitor_ablation(rows), data=rows)
     by = {r.monitor: r for r in rows}
     # dmpi_ps detects at its first sample after the CP appears
     assert by["dmpi_ps"].detection_delay <= 1.0

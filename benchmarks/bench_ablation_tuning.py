@@ -56,7 +56,8 @@ def test_grace_period_sweep(benchmark, record_table):
     record_table("ablation_grace", format_table(
         ["grace cycles", "total(s)", "#redist"], rows,
         title="Ablation — grace period length (Jacobi, 4 nodes, 1 CP)",
-    ))
+    ), data=[dict(zip(("grace_cycles", "total_s", "n_redist"), r))
+             for r in rows])
     times = {gp: res.wall_time for gp, res in results.items()}
     # every configuration adapts, and no sane grace period is a
     # catastrophe relative to the paper default
@@ -86,6 +87,7 @@ def test_eager_threshold_sweep(benchmark, record_table):
     record_table("ablation_eager", format_table(
         ["eager threshold(B)", "total(s)", "#redist"], rows,
         title="Ablation — eager/rendezvous threshold (Jacobi, 4 nodes)",
-    ))
+    ), data=[dict(zip(("eager_threshold_b", "total_s", "n_redist"), r))
+             for r in rows])
     times = [res.wall_time for res in results.values()]
     assert max(times) < min(times) * 1.5

@@ -16,7 +16,7 @@ def test_fig3_memalloc(benchmark, record_table):
         lambda: run_memalloc(scale=bench_scale()),
         rounds=1, iterations=1,
     )
-    record_table("fig3_memalloc", format_memalloc(rows))
+    record_table("fig3_memalloc", format_memalloc(rows), data=rows)
     dense = [r for r in rows if r.kind == "dense"]
     # the paper's claim must hold everywhere: projection never moves
     # more bytes than contiguous

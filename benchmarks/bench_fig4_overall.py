@@ -31,7 +31,7 @@ def test_fig4_app(app, benchmark, record_table):
         lambda: run_figure4(apps=(app,), scale=_scale()),
         rounds=1, iterations=1,
     )
-    record_table(f"fig4_{app}", format_figure4(rows))
+    record_table(f"fig4_{app}", format_figure4(rows), data=rows)
     for r in rows:
         # no-adapt suffers from the competing process
         assert r.norm_noadapt > 1.25, f"{r}"
@@ -56,7 +56,7 @@ def test_fig4_cg_narrative(benchmark, record_table):
           "/".join(f"{s:.3f}" for s in n.shares), n.redist_seconds)],
         title="Section 5.1 — 4-node CG narrative",
     )
-    record_table("fig4_cg_narrative", table)
+    record_table("fig4_cg_narrative", table, data=n)
     assert n.t_dedicated < n.t_dynmpi < n.t_noadapt
     # the loaded node's share is near 1/7, each unloaded near 2/7
     assert len(n.shares) == 4

@@ -22,7 +22,7 @@ def test_fig5_multiredist(benchmark, record_table):
         lambda: run_figure5(scale=bench_scale(DEFAULT_SCALE)),
         rounds=1, iterations=1,
     )
-    record_table("fig5_multiredist", format_figure5(cells))
+    record_table("fig5_multiredist", format_figure5(cells), data=cells)
     by = {(c.period_len, c.policy): c for c in cells}
     shorts = sorted({c.period_len for c in cells})
     short, long_ = shorts[0], shorts[-1]

@@ -23,7 +23,7 @@ def test_fig6_removal(benchmark, record_table):
         lambda: run_figure6(scale=bench_scale(DEFAULT_SCALE), iters=ITERS),
         rounds=1, iterations=1,
     )
-    record_table("fig6_removal", format_figure6(cells))
+    record_table("fig6_removal", format_figure6(cells), data=cells)
     by = {(c.n_nodes, c.n_cp): c for c in cells}
 
     # every forced-drop run actually dropped the loaded node

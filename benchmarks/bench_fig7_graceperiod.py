@@ -19,7 +19,7 @@ def test_fig7_graceperiod(benchmark, record_table):
         lambda: run_figure7(scale=bench_scale(DEFAULT_SCALE)),
         rounds=1, iterations=1,
     )
-    record_table("fig7_graceperiod", format_figure7(cells))
+    record_table("fig7_graceperiod", format_figure7(cells), data=cells)
     by = {(c.part, c.grace_period): c for c in cells}
     for part in (10.0, 50.0):
         gp1, gp5 = by[(part, 1)], by[(part, 5)]

@@ -8,12 +8,36 @@ capture.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import os
 import pathlib
 
+import numpy as np
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _jsonable(obj):
+    """Best-effort conversion of bench payloads (dataclass rows, numpy
+    scalars/arrays, nested containers) into JSON-serializable data."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    return str(obj)
 
 
 @pytest.fixture(autouse=True, scope="session")
@@ -41,10 +65,20 @@ def results_dir() -> pathlib.Path:
 
 @pytest.fixture()
 def record_table(results_dir):
-    def _record(name: str, table: str) -> None:
+    """Write the rendered table to ``results/<name>.txt``; when ``data``
+    is given, also emit the underlying numbers machine-readably to
+    ``results/BENCH_<name>.json`` (one JSON per figure/table, for
+    plotting and regression tooling that must not scrape text)."""
+    def _record(name: str, table: str, data=None) -> None:
         path = results_dir / f"{name}.txt"
         path.write_text(table + "\n")
         print()
         print(table)
         print(f"[written to {path}]")
+        if data is not None:
+            jpath = results_dir / f"BENCH_{name}.json"
+            jpath.write_text(
+                json.dumps({"name": name, "data": _jsonable(data)},
+                           indent=2, sort_keys=True) + "\n")
+            print(f"[data written to {jpath}]")
     return _record

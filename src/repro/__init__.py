@@ -7,6 +7,7 @@ Layers, bottom to top:
 * :mod:`repro.sysmon`     — dmpi_ps / vmstat / /PROC / gethrtime models.
 * :mod:`repro.dmem`       — redistribution-friendly dense & sparse arrays.
 * :mod:`repro.core`       — the Dyn-MPI runtime (the paper's contribution).
+* :mod:`repro.resilience` — fault injection, checkpointing, crash recovery.
 * :mod:`repro.apps`       — Jacobi, SOR, CG, particle simulation.
 * :mod:`repro.experiments`— figure/table regeneration harness.
 """
@@ -17,6 +18,7 @@ from .config import (
     ClusterSpec,
     NetworkSpec,
     NodeSpec,
+    ResilienceSpec,
     RuntimeSpec,
     pentium_cluster,
     ultrasparc_cluster,
@@ -26,6 +28,7 @@ __all__ = [
     "ClusterSpec",
     "NetworkSpec",
     "NodeSpec",
+    "ResilienceSpec",
     "RuntimeSpec",
     "pentium_cluster",
     "ultrasparc_cluster",

@@ -21,6 +21,10 @@ DYN101   wallclock/randomness in a deterministic zone
          ``numpy.random`` entry points
 DYN201   mutable default on a dataclass field (shared-state bug;
          includes numpy-array defaults the stdlib check misses)
+DYN301   bare ``Simulator.kill(...)``/``inject(...)`` in library code
+         outside :mod:`repro.resilience` — ad-hoc fault injection
+         bypasses the FailureBoard and the runtime's crash
+         accounting; route faults through a ``FailureScript``
 =======  ==========================================================
 
 Suppress a finding by putting ``# dynsan: ok`` on the offending line.
@@ -53,6 +57,14 @@ GENERATOR_FUNCS = frozenset({
 
 #: path components marking the zones that must stay deterministic
 DETERMINISTIC_ZONES = ("simcluster", "core")
+
+#: library package whose files are checked for ad-hoc fault injection
+#: (DYN301); the resilience package is the one sanctioned home
+FAULT_LIBRARY_ZONE = "repro"
+FAULT_EXEMPT_ZONE = "resilience"
+
+#: Simulator methods that constitute fault injection
+_FAULT_METHODS = frozenset({"kill", "inject"})
 
 #: wallclock / entropy calls banned inside deterministic zones
 _BANNED_CALLS = frozenset({
@@ -96,10 +108,12 @@ def _dotted_name(node: ast.AST) -> Optional[str]:
 
 
 class _Linter(ast.NodeVisitor):
-    def __init__(self, path: str, source: str, *, deterministic_zone: bool):
+    def __init__(self, path: str, source: str, *, deterministic_zone: bool,
+                 fault_injection_zone: bool = False):
         self.path = path
         self.lines = source.splitlines()
         self.zone = deterministic_zone
+        self.fault_zone = fault_injection_zone
         self.findings: list[LintFinding] = []
         #: local alias -> real module name (import numpy as np)
         self.aliases: dict[str, str] = {}
@@ -178,8 +192,17 @@ class _Linter(ast.NodeVisitor):
                        f"instead of driving it; use `yield from`")
         self.generic_visit(node)
 
-    # -- DYN101: wallclock / randomness calls ---------------------------
+    # -- DYN101 / DYN301: calls ----------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
+        if self.fault_zone:
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _FAULT_METHODS:
+                base = _dotted_name(func.value)
+                self._emit(node, "DYN301",
+                           f"bare `{base or '<expr>'}.{func.attr}(...)` "
+                           f"injects a fault behind the FailureBoard's back; "
+                           f"use a FailureScript (repro.resilience) so the "
+                           f"runtime's crash accounting sees it")
         if self.zone:
             dotted = self._resolve(_dotted_name(node.func))
             if dotted is not None:
@@ -254,19 +277,30 @@ def _in_deterministic_zone(path: pathlib.Path) -> bool:
     return any(part in DETERMINISTIC_ZONES for part in path.parts)
 
 
+def _in_fault_injection_zone(path: pathlib.Path) -> bool:
+    """Library code (under the ``repro`` package) outside the
+    resilience package: the only place DYN301 applies.  Tests,
+    examples, and benchmarks inject faults freely."""
+    parts = path.parts
+    return FAULT_LIBRARY_ZONE in parts and FAULT_EXEMPT_ZONE not in parts
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     *,
     deterministic_zone: bool = False,
+    fault_injection_zone: bool = False,
 ) -> list[LintFinding]:
-    """Lint python ``source``; ``deterministic_zone`` enables DYN101."""
+    """Lint python ``source``; ``deterministic_zone`` enables DYN101,
+    ``fault_injection_zone`` enables DYN301."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         return [LintFinding(path, exc.lineno or 0, exc.offset or 0,
                             "DYN000", f"syntax error: {exc.msg}")]
-    linter = _Linter(path, source, deterministic_zone=deterministic_zone)
+    linter = _Linter(path, source, deterministic_zone=deterministic_zone,
+                     fault_injection_zone=fault_injection_zone)
     linter.visit(tree)
     return sorted(linter.findings, key=lambda f: (f.path, f.line, f.col))
 
@@ -276,6 +310,7 @@ def lint_file(path: pathlib.Path) -> list[LintFinding]:
         path.read_text(encoding="utf-8"),
         str(path),
         deterministic_zone=_in_deterministic_zone(path),
+        fault_injection_zone=_in_fault_injection_zone(path),
     )
 
 

@@ -155,9 +155,22 @@ class CommSanitizer:
         self._recvs: dict[int, _RecvRec] = {}      # id(_PendingRecv) -> record
         self._blocked: dict[int, _BlockRec] = {}   # rank -> record
         self._colls: dict[tuple, _CollRec] = {}    # (group gid, tag) -> record
+        self._dead: set[int] = set()               # ranks whose process died
         self.warnings: list[str] = []
         self.n_sends = 0
         self.n_matches = 0
+
+    # ------------------------------------------------------------------
+    # failed ranks (called from SimComm.mark_rank_dead)
+    # ------------------------------------------------------------------
+    def mark_dead(self, rank: int) -> None:
+        """A rank's process died (injected fault).  Its in-flight state
+        stops counting as a correctness violation: finalize downgrades
+        operations involving it to warnings, and the wait-for graph no
+        longer treats it as a live peer (poisoning, not progress,
+        resolves waits on a dead rank)."""
+        self._dead.add(rank)
+        self._blocked.pop(rank, None)
 
     # ------------------------------------------------------------------
     # message life cycle (called from repro.mpi.comm)
@@ -228,6 +241,8 @@ class CommSanitizer:
         receive, for a rendezvous sender) that could resolve the wait
         suppresses the edge, so a reported cycle is a true deadlock.
         """
+        if b.peer in self._dead:
+            return None  # dead peers resolve by poisoning, not progress
         if b.kind in ("recv", "recv-poll"):
             if b.peer == _ANY:
                 return None
@@ -303,9 +318,19 @@ class CommSanitizer:
         :class:`SanitizerError`; warnings never raise."""
         report = SanitizerReport(warnings=list(self.warnings))
         for m in self._msgs.values():
-            report.errors.append(f"unmatched send: {m.describe()}")
+            if m.src in self._dead or m.dst in self._dead:
+                report.warnings.append(
+                    f"send abandoned by rank failure: {m.describe()}"
+                )
+            else:
+                report.errors.append(f"unmatched send: {m.describe()}")
         for r in self._recvs.values():
-            report.errors.append(f"unmatched receive: {r.describe()}")
+            if r.rank in self._dead or r.source in self._dead:
+                report.warnings.append(
+                    f"receive abandoned by rank failure: {r.describe()}"
+                )
+            else:
+                report.errors.append(f"unmatched receive: {r.describe()}")
         for (gid, tag), rec in sorted(self._colls.items()):
             if 0 < len(rec.entered) < rec.group_size:
                 report.warnings.append(

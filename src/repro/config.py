@@ -19,6 +19,7 @@ Ethernet, Sections 5.1/5.2/5.4) and :func:`ultrasparc_cluster`
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from .errors import ConfigError
 
@@ -26,6 +27,7 @@ __all__ = [
     "NodeSpec",
     "NetworkSpec",
     "ClusterSpec",
+    "ResilienceSpec",
     "RuntimeSpec",
     "pentium_cluster",
     "ultrasparc_cluster",
@@ -130,6 +132,44 @@ class ClusterSpec:
 
 
 @dataclass(frozen=True)
+class ResilienceSpec:
+    """In-memory neighbor checkpointing + crash recovery knobs
+    (``repro.resilience``, see docs/RESILIENCE.md).
+
+    Attach to :class:`RuntimeSpec` via ``resilience=ResilienceSpec()``;
+    the default ``RuntimeSpec.resilience = None`` keeps every
+    resilience code path disabled (zero overhead).
+    """
+
+    #: phase cycles between buddy checkpoints.  1 (the default) makes
+    #: recovery exact: the checkpoint a buddy replays is precisely the
+    #: crashed rank's state at the failure cycle's boundary.  Larger
+    #: intervals cut checkpoint traffic but replay rows up to
+    #: ``checkpoint_interval - 1`` cycles stale (only safe for
+    #: applications that re-converge, e.g. iterative solvers).
+    checkpoint_interval: int = 1
+    #: number of successive ring buddies that hold a replica of each
+    #: rank's checkpoint; recovery survives up to ``replication``
+    #: simultaneous failures of adjacent ranks.
+    replication: int = 1
+    #: seconds without a ``dmpi_ps`` heartbeat before a node is
+    #: suspected dead; 0 (the default) resolves to
+    #: ``3 * RuntimeSpec.daemon_interval``.
+    heartbeat_timeout: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval < 1:
+            raise ConfigError("checkpoint_interval must be >= 1")
+        if self.replication < 1:
+            raise ConfigError("replication must be >= 1")
+        if self.heartbeat_timeout < 0:
+            raise ConfigError("heartbeat_timeout must be >= 0")
+
+    def resolve_timeout(self, daemon_interval: float) -> float:
+        return self.heartbeat_timeout or 3.0 * daemon_interval
+
+
+@dataclass(frozen=True)
 class RuntimeSpec:
     """Dyn-MPI runtime tunables (paper defaults)."""
 
@@ -168,6 +208,9 @@ class RuntimeSpec:
     #: cap on the number of redistributions (0 = unlimited); the
     #: Figure 5 "Redist Once" configuration uses 1
     max_redistributions: int = 0
+    #: checkpointing + crash recovery (``repro.resilience``); None
+    #: disables every resilience code path
+    resilience: Optional[ResilienceSpec] = None
 
     def __post_init__(self) -> None:
         if self.grace_period < 1:

@@ -81,6 +81,11 @@ def _owned_rows(bounds: Bounds, rel: int) -> set[int]:
     b = bounds[rel]
     if b is None:
         return set()
+    if isinstance(b, (set, frozenset)):
+        # explicit row set: crash recovery hands the checkpoint holder
+        # its own rows plus the adopted (possibly non-contiguous) rows
+        # of the rank it stands in for
+        return set(b)
     return set(range(b[0], b[1] + 1))
 
 

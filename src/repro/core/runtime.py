@@ -46,17 +46,24 @@ import numpy as np
 
 from ..config import RuntimeSpec
 from ..dmem import MemCostModel, ProjectedArray, SparseMatrix
-from ..errors import RegistrationError, SimulationError
+from ..errors import CheckpointLostError, RegistrationError, SimulationError
 from ..mpi import Endpoint, Group, make_comm
 from ..mpi import collectives as coll
 from ..mpi.datatypes import SUM, ReduceOp
-from ..simcluster import Cluster, Compute
+from ..resilience.checkpoint import (
+    CheckpointStore,
+    checkpoint_exchange,
+    holder_for,
+    snapshot,
+)
+from ..resilience.failures import terminate_rank
+from ..simcluster import Cluster, Compute, ProcState
 from ..sysmon import DmpiPs, HrTimer, ProcClock
 from .balance import successive_balance
 from .commcost import CommCostModel, PhasePattern, measure_comm_model
 from .distribution import BlockDistribution, shares_to_blocks
 from .drsd import DRSD
-from .loadmon import LoadMonitor
+from .loadmon import FailureDetector, LoadMonitor
 from .phase import Phase
 from .redistribute import needed_map, redistribute
 from .removal import evaluate_drop
@@ -73,7 +80,7 @@ _LOAD_TAG = (1 << 29) + 9   # load updates: removed ranks -> active root
 class RuntimeEvent:
     """One adaptation event, for experiment reporting."""
 
-    kind: str          # "redistribute" | "drop" | "logical_drop"
+    kind: str  # "redistribute" | "drop" | "logical_drop" | "rejoin" | "crash_recovery"
     cycle: int
     time: float
     duration: float = 0.0
@@ -110,6 +117,14 @@ class DynMPIJob:
         self.contexts: list["DynMPI"] = []
         self._groups: dict[tuple, Group] = {}
         self._launched = False
+        #: heartbeat crash detector (repro.resilience); None unless a
+        #: ResilienceSpec is attached to the runtime spec
+        self.detector: Optional[FailureDetector] = None
+        if self.spec.resilience is not None:
+            self.detector = FailureDetector(
+                self.ps,
+                self.spec.resilience.resolve_timeout(self.spec.daemon_interval),
+            )
 
     def group_for(self, world_ranks: tuple) -> Group:
         """Shared Group per rank set (tag counters must be common)."""
@@ -137,8 +152,20 @@ class DynMPIJob:
             proc = self.cluster.sim.spawn(gen, name=f"rank{rank}", node=node)
             ctx._bind_process(proc)
             self.ps.register_monitored(node.node_id, proc)
+            self.cluster.register_app_proc(node.node_id, proc)
+            # dead-endpoint poisoning: a rank death turns peers' blocked
+            # operations into RankFailedError instead of a hang
+            self.comm.watch_rank(rank, proc)
             procs.append(proc)
-        self.cluster.sim.run_all(procs, until=until)
+
+        board = self.cluster.failure_board
+
+        def expected_death(proc) -> bool:
+            rank = procs.index(proc)
+            ctx = self.contexts[rank]
+            return ctx.crashed or board.failed(self.comm.node_of(rank))
+
+        self.cluster.sim.run_all(procs, until=until, tolerate=expected_death)
         if self.cluster.sanitizer is not None:
             self.cluster.sanitizer.finalize()
         return [p.result for p in procs]
@@ -183,6 +210,19 @@ class DynMPI:
         self.n_redistributions = 0
         self._removed_loads: dict[int, int] = {}  # rejoin bookkeeping (rel 0)
         self._token_root = 0  # world rank that sends this removed rank tokens
+        # -- resilience (repro.resilience) ------------------------------
+        #: set by terminate_rank when this rank dies to an injected
+        #: crash, so the launcher can tell it from an application bug
+        self.crashed = False
+        #: world ranks every survivor agrees are dead
+        self.dead_world: set[int] = set()
+        self._ckpt_store: Optional[CheckpointStore] = (
+            CheckpointStore() if job.spec.resilience is not None else None
+        )
+        #: forces a checkpoint at the next cycle regardless of the
+        #: interval — set after every bounds/group change so a stored
+        #: replica's bounds always match the live distribution
+        self._ckpt_due = True
 
     # ------------------------------------------------------------------
     # wiring
@@ -365,7 +405,10 @@ class DynMPI:
         return result
 
     def _removed_world_ranks(self) -> list[int]:
-        return [w for w in range(self.ep.size) if w not in self.active_group]
+        return [
+            w for w in range(self.ep.size)
+            if w not in self.active_group and w not in self.dead_world
+        ]
 
     # ------------------------------------------------------------------
     # the phase cycle
@@ -374,7 +417,14 @@ class DynMPI:
         if not self._committed:
             raise RegistrationError("commit() must be called before cycles")
         self.cycle += 1
-        if self.world_rank == 0:
+        # the cycle notifier is the lowest-ranked *surviving* rank, so
+        # cycle-triggered scripts keep firing if rank 0 crashes
+        notifier = 0
+        if self.dead_world:
+            notifier = min(
+                w for w in range(self.ep.size) if w not in self.dead_world
+            )
+        if self.world_rank == notifier:
             self.job.cluster.notify_cycle(self.cycle)
         if not self.active:
             if self.spec.allow_rejoin:
@@ -382,6 +432,9 @@ class DynMPI:
             return
         self._cycle_t0 = self.job.hr.read()
         if not self.job.adaptive:
+            return
+        if self.spec.resilience is not None:
+            yield from self._resilient_control()
             return
         local = int(self.job.ps.load(self.node_id))
         if self.spec.allow_rejoin:
@@ -405,6 +458,206 @@ class DynMPI:
             self._enter_grace()  # (re)start with fresh measurements
 
     # ------------------------------------------------------------------
+    # resilient control path (repro.resilience; docs/RESILIENCE.md)
+    # ------------------------------------------------------------------
+    def _resilient_control(self) -> Generator:
+        """The per-cycle control exchange when a ResilienceSpec is on.
+
+        Checkpoints are exchanged *first*, so the snapshot a buddy may
+        replay this cycle is exactly the state at this cycle boundary.
+        The decision allgather then carries ``(load, rejoin_candidates,
+        suspected_dead)``; rel-0's entry is authoritative (the same
+        rule the rejoin protocol uses), so every active rank — the
+        crash victim included, since a crashed node fail-stops at the
+        boundary — acts on one consistent verdict.
+        """
+        yield from self._maybe_checkpoint()
+        local = int(self.job.ps.load(self.node_id))
+        candidates = (
+            self._poll_rejoin_candidates() if self.spec.allow_rejoin else ()
+        )
+        suspected = self._suspect_failures()
+        gathered = yield from coll.allgather_dissemination(
+            self.ep, self.active_group, (local, candidates, suspected)
+        )
+        loads = [g[0] for g in gathered]
+        rejoining = gathered[0][1]
+        dead = gathered[0][2]  # rel 0's view is authoritative
+        if dead:
+            yield from self._handle_crash(dead)
+            return  # next cycle starts fresh over the survivor group
+        if self.spec.allow_rejoin:
+            yield from self._send_tokens(rejoining)
+            if rejoining:
+                yield from self._perform_rejoin(rejoining)
+                return
+        self.loads = np.asarray(loads, dtype=int)
+        if self.monitor.observe(loads, self.cycle):
+            self._enter_grace()
+
+    def _maybe_checkpoint(self) -> Generator:
+        """Ring-exchange checkpoints every ``checkpoint_interval``
+        cycles (or when a group/bounds change forced one).  All active
+        ranks take the same branch: ``cycle`` and ``_ckpt_due`` evolve
+        in lockstep."""
+        res = self.spec.resilience
+        if self.cycle % res.checkpoint_interval and not self._ckpt_due:
+            return
+        self._ckpt_due = False
+        ckpt = snapshot(
+            self.arrays, self.bounds[self.rel_rank()],
+            self.world_rank, self.cycle,
+        )
+        yield from checkpoint_exchange(
+            self.ep, self.active_group, self._ckpt_store, ckpt,
+            res.replication,
+        )
+
+    def _suspect_failures(self) -> tuple:
+        """(active rel 0 only) World ranks whose node is suspected dead
+        by the heartbeat detector.  A rank that finished its program is
+        not a failure; self-suspicion is allowed so a crash of rel 0
+        itself is still announced (cooperative fail-stop lets the
+        victim publish its own death sentence)."""
+        if self.rel_rank() != 0 or self.job.detector is None:
+            return ()
+        dead = []
+        for w in range(self.ep.size):
+            if w in self.dead_world:
+                continue
+            proc = self.job.contexts[w].proc if w < len(self.job.contexts) else None
+            if proc is not None and proc.state == ProcState.DONE:
+                continue
+            if self.job.detector.suspect(self.job.comm.node_of(w)):
+                dead.append(w)
+        return tuple(sorted(dead))
+
+    def _handle_crash(self, dead: tuple) -> Generator:
+        """Every active rank runs this with the same ``dead`` set.  The
+        victims self-terminate; the survivors excise them like an
+        involuntary Section 4.4 removal, with the checkpoint holders
+        standing in for the dead ranks' send-out."""
+        t0 = self.job.hr.read()
+        dead = tuple(sorted(dead))
+        if self.world_rank in dead:
+            yield from terminate_rank(self)  # never returns
+        old_group = self.active_group
+        active_dead = [w for w in dead if w in old_group]
+        survivors = [w for w in old_group.ranks if w not in dead]
+        parked_dead = [w for w in dead if w not in old_group]
+        parked_alive = [
+            w for w in self._removed_world_ranks() if w not in dead
+        ]
+        self.dead_world.update(dead)
+        for w in dead:
+            self._removed_loads.pop(w, None)
+        # this cycle's tokens to parked ranks (normal _send_tokens was
+        # skipped): victims get their death sentence, the rest learn
+        # the new root and the updated death record
+        new_root = survivors[0]
+        if self.world_rank == new_root and self.spec.allow_rejoin:
+            for w in parked_dead:
+                self.ep.isend(w, _TOKEN_TAG, ("dead", new_root, None))
+            for w in parked_alive:
+                self.ep.isend(
+                    w, _TOKEN_TAG,
+                    ("noop", new_root, tuple(sorted(self.dead_world))),
+                )
+        detail: dict = {
+            "dead_world": list(dead),
+            "parked_dead": parked_dead,
+        }
+        if active_dead:
+            yield from self._recover_rows(old_group, active_dead, detail)
+        if self.rel_rank() == 0:
+            self.job.events.append(RuntimeEvent(
+                kind="crash_recovery",
+                cycle=self.cycle,
+                time=self.job.cluster.sim.now,
+                duration=self.job.hr.read() - t0,
+                detail=detail,
+            ))
+
+    def _recover_rows(self, old_group: Group, active_dead: list,
+                      detail: dict) -> Generator:
+        """Survivor-side data recovery: the holder replays each dead
+        rank's checkpoint into its own arrays, then a redistribution
+        over the survivor group rebalances — the holder's old
+        ownership is a row *set* (its own rows plus the adopted,
+        possibly non-contiguous, rows of the dead rank)."""
+        res = self.spec.resilience
+        n = old_group.size
+        dead_rels = [old_group.rel(w) for w in active_dead]
+        alive_rels = set(range(n)) - set(dead_rels)
+        holders = {
+            dr: holder_for(dr, n, res.replication, alive_rels)
+            for dr in dead_rels
+        }
+        me_old = old_group.rel(self.world_rank)
+
+        # every rank derives every holder's adopted row set from the
+        # (shared) bounds; the holder additionally replays the payload.
+        # ``replayed`` counts row-installs the same way on every rank
+        # (the checkpoint-freshness invariant makes the replica's shape
+        # derivable from the shared bounds), so the recorded event does
+        # not depend on which rank appends it.
+        adopted_by_world: dict[int, set[int]] = {}
+        replayed = 0
+        for dr, hrel in holders.items():
+            b = self.bounds[dr]
+            rows = set() if b is None else set(range(b[0], b[1] + 1))
+            adopted_by_world.setdefault(old_group.world(hrel), set()).update(rows)
+            replayed += sum(
+                sum(1 for g in rows if g < arr.n_rows)
+                for arr in self.arrays.values()
+            )
+            if hrel == me_old:
+                ckpt = self._ckpt_store.get(old_group.world(dr))
+                if ckpt is None:
+                    raise CheckpointLostError(
+                        f"rank {self.world_rank} elected holder for dead "
+                        f"rank {old_group.world(dr)} but holds no replica"
+                    )
+                ckpt.restore(self.arrays)
+
+        new_world = tuple(w for w in old_group.ranks if w not in active_dead)
+        old_bounds = []
+        for w in new_world:
+            b = self.bounds[old_group.rel(w)]
+            own = set() if b is None else set(range(b[0], b[1] + 1))
+            own |= adopted_by_world.get(w, set())
+            old_bounds.append(frozenset(own) if own else None)
+
+        shares = np.ones(len(new_world)) / len(new_world)
+        nd = shares_to_blocks(self.loop_size, shares, self.row_weights)
+        group = self.job.group_for(new_world)
+        needed = self._needed(nd.bounds)
+        yield from redistribute(
+            self.ep, group, tuple(old_bounds), nd.bounds,
+            self.arrays, needed, self.job.mem_model,
+            memory_bytes=self.job.cluster.spec.node.memory_bytes,
+        )
+        self.active_group = group
+        self.bounds = tuple(nd.bounds)
+        self.loads = np.ones(group.size, dtype=int)
+        self.monitor.rebase([1] * group.size)
+        self.mode = self.MODE_NORMAL
+        self._grace = {}
+        self._grace_count = 0
+        self._post_times = []
+        self._ckpt_due = True  # re-cover the new group immediately
+        for w in active_dead:
+            self._ckpt_store.discard(w)
+        detail.update({
+            "holders": {
+                int(old_group.world(dr)): int(old_group.world(hrel))
+                for dr, hrel in holders.items()
+            },
+            "adopted_rows": sum(len(r) for r in adopted_by_world.values()),
+            "replayed_installs": replayed,
+        })
+
+    # ------------------------------------------------------------------
     # node rejoin (paper Section 2.2 "potentially later add back" /
     # Section 6 future work) — enabled with RuntimeSpec.allow_rejoin
     # ------------------------------------------------------------------
@@ -420,6 +673,14 @@ class DynMPI:
         if kind == "rejoin":
             new_world, old_bounds, new_bounds = payload
             yield from self._apply_rejoin(new_world, old_bounds, new_bounds)
+        elif kind == "dead":
+            # this parked rank's node crashed: the root's token is its
+            # death sentence (the one message it still consumes)
+            yield from terminate_rank(self, reason="crashed while parked")
+        elif kind == "noop" and payload:
+            # keep the death record current so the notifier choice
+            # stays consistent across parked and active ranks
+            self.dead_world.update(payload)
 
     def _poll_rejoin_candidates(self) -> tuple:
         """(active rel 0 only) Drain pending load updates from removed
@@ -451,11 +712,12 @@ class DynMPI:
         if rejoining:
             new_world, old_bounds, new_bounds = self._rejoin_plan(rejoining)
             payload = (new_world, old_bounds, new_bounds)
+        dead = tuple(sorted(self.dead_world)) or None
         for w in removed:
             if rejoining and w in rejoining:
                 self.ep.isend(w, _TOKEN_TAG, ("rejoin", self.world_rank, payload))
             else:
-                self.ep.isend(w, _TOKEN_TAG, ("noop", self.world_rank, None))
+                self.ep.isend(w, _TOKEN_TAG, ("noop", self.world_rank, dead))
         return
         yield  # pragma: no cover - keeps this a generator
 
@@ -489,6 +751,7 @@ class DynMPI:
         self.bounds = tuple(new_bounds)
         self.monitor.rebase([1] * group.size)
         self.mode = self.MODE_NORMAL
+        self._ckpt_due = True  # cover the rejoined member right away
         for w in rejoining:
             self._removed_loads.pop(w, None)
         if was_rel0:
@@ -513,6 +776,7 @@ class DynMPI:
         self.bounds = tuple(new_bounds)
         self.monitor.rebase([1] * group.size)
         self.mode = self.MODE_NORMAL
+        self._ckpt_due = True  # rejoined rank holds no current replicas
         self._cycle_t0 = self.job.hr.read()
 
     def _enter_grace(self) -> None:
@@ -713,6 +977,7 @@ class DynMPI:
             memory_bytes=self.job.cluster.spec.node.memory_bytes,
         )
         self.bounds = tuple(new_bounds)
+        self._ckpt_due = True  # stored replicas must match the new bounds
         return report
 
     def _consider_drop(self) -> Generator:

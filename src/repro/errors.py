@@ -70,6 +70,26 @@ class MPIError(ReproError):
     """Misuse of the simulated MPI layer (bad rank, tag, truncation...)."""
 
 
+class RankFailedError(MPIError):
+    """A point-to-point operation involved a rank whose process has died.
+
+    Raised by the comm layer's dead-endpoint poisoning (repro.resilience):
+    instead of blocking forever on a message a failed rank will never
+    send — or accept — the survivor gets an immediate diagnostic.
+    """
+
+    def __init__(self, rank: int, op: str = "communicate with"):
+        self.rank = rank
+        super().__init__(f"cannot {op} rank {rank}: its process has failed")
+
+
+class CheckpointLostError(ReproError):
+    """A crashed rank's rows cannot be replayed: every buddy holding a
+    replica of its checkpoint has failed too.  Raising replication in
+    :class:`~repro.config.ResilienceSpec` tolerates more simultaneous
+    failures at the cost of more checkpoint traffic."""
+
+
 class TruncationError(MPIError):
     """A received message was larger than the posted receive buffer."""
 

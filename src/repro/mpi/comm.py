@@ -33,8 +33,8 @@ from typing import Any, Generator, Optional
 
 import numpy as np
 
-from ..errors import MPIError
-from ..simcluster import Cluster, Compute, Signal, Wait
+from ..errors import MPIError, RankFailedError
+from ..simcluster import Cluster, Compute, ProcState, Signal, Wait
 from .datatypes import payload_nbytes
 from .status import ANY_SOURCE, ANY_TAG, Status
 
@@ -43,11 +43,15 @@ __all__ = ["SimComm", "Endpoint", "Request"]
 #: wire size of RTS/CTS control messages
 _CTRL_BYTES = 64
 
+#: sentinel fired through signals touching a dead rank (resilience)
+_POISON = object()
+
 
 class _Envelope:
     __slots__ = (
         "src", "dst", "tag", "payload", "nbytes",
         "rendezvous", "data_ready", "data_signal", "sent_signal", "seq",
+        "poison",
     )
 
     def __init__(self, src: int, dst: int, tag: int, payload: Any, nbytes: int):
@@ -61,6 +65,9 @@ class _Envelope:
         self.data_signal: Optional[Signal] = None
         self.sent_signal: Optional[Signal] = None
         self.seq = 0
+        #: set on synthetic envelopes delivered to receivers blocked on
+        #: a rank that died: the receive raises RankFailedError
+        self.poison = False
 
     def matches(self, source: int, tag: int) -> bool:
         return (source in (ANY_SOURCE, self.src)) and (tag in (ANY_TAG, self.tag))
@@ -84,6 +91,9 @@ class Request:
         self._done = False
         self._value: Any = None
         self._signal: Optional[Signal] = None
+        #: set when the peer rank died before the op could complete;
+        #: ``wait()`` then raises RankFailedError instead of returning
+        self._failed_rank: Optional[int] = None
 
     def _complete(self, value: Any) -> None:
         self._done = True
@@ -101,7 +111,11 @@ class Request:
                 if self._done:  # completed in between (defensive)
                     self._signal.fire(self._value)
             value = yield Wait(self._signal)
+            if self._failed_rank is not None:
+                raise RankFailedError(self._failed_rank)
             return value
+        if self._failed_rank is not None:
+            raise RankFailedError(self._failed_rank)
         return self._value
         yield  # pragma: no cover - keeps this a generator
 
@@ -124,6 +138,8 @@ class SimComm:
         self._pending: list[list[_PendingRecv]] = [[] for _ in range(self.size)]
         self._endpoints = [Endpoint(self, r) for r in range(self.size)]
         self._seq = itertools.count()
+        #: ranks whose process died (resilience fail-fast poisoning)
+        self._dead: set[int] = set()
         # communication sanitizer (repro.analysis), or None when off
         self.san = getattr(cluster, "sanitizer", None)
 
@@ -136,9 +152,67 @@ class SimComm:
         return self.rank_to_node[rank]
 
     # ------------------------------------------------------------------
+    # dead-endpoint poisoning (repro.resilience fail-fast path)
+    # ------------------------------------------------------------------
+    def watch_rank(self, rank: int, proc) -> None:
+        """Mark ``rank`` dead the moment ``proc`` dies, so survivors
+        blocked on it get :class:`RankFailedError` instead of a hang.
+
+        Wired by ``DynMPIJob.launch``; raw :func:`make_comm` users keep
+        the undecorated behavior (a killed peer then shows up as a
+        plain deadlock).
+        """
+        def on_done(_value) -> None:
+            if proc.state == ProcState.FAILED:
+                self.mark_rank_dead(rank)
+        proc.done_signal.add_waiter(on_done)
+
+    def rank_failed(self, rank: int) -> bool:
+        return rank in self._dead
+
+    def dead_ranks(self) -> list[int]:
+        return sorted(self._dead)
+
+    def mark_rank_dead(self, rank: int) -> None:
+        """Poison every operation blocked on — or queued for — ``rank``."""
+        if rank in self._dead:
+            return
+        self._dead.add(rank)
+        if self.san is not None:
+            self.san.mark_dead(rank)
+        # the dead rank's own posted receives can never be resumed
+        self._pending[rank].clear()
+        # senders parked in a rendezvous with the dead receiver unblock
+        # with a poisoned completion
+        for env in self._mailboxes[rank]:
+            if env.sent_signal is not None and not env.sent_signal.fired:
+                env.sent_signal.fire(_POISON)
+        self._mailboxes[rank].clear()
+        # survivors blocked on an exact-source receive from the dead
+        # rank get a poison envelope (ANY_SOURCE stays matchable)
+        for dst in range(self.size):
+            if dst == rank:
+                continue
+            keep = []
+            for pr in self._pending[dst]:
+                if pr.source == rank:
+                    poison = _Envelope(rank, dst, pr.tag, None, 0)
+                    poison.poison = True
+                    pr.signal.fire(poison)
+                else:
+                    keep.append(pr)
+            self._pending[dst][:] = keep
+
+    # ------------------------------------------------------------------
     # delivery plumbing (runs inside network callbacks)
     # ------------------------------------------------------------------
     def _deliver(self, env: _Envelope) -> None:
+        if env.dst in self._dead:
+            # late arrival for a dead receiver: unblock a rendezvous
+            # sender with a poisoned completion, drop the message
+            if env.sent_signal is not None and not env.sent_signal.fired:
+                env.sent_signal.fire(_POISON)
+            return
         pending = self._pending[env.dst]
         for i, req in enumerate(pending):
             if env.matches(req.source, req.tag):
@@ -187,6 +261,8 @@ class Endpoint:
         comm = self.comm
         if not (0 <= dest < comm.size):
             raise MPIError(f"send to invalid rank {dest}")
+        if dest in comm._dead:
+            raise RankFailedError(dest, "send to")
         nbytes = payload_nbytes(payload) if nbytes is None else int(nbytes)
         payload = _detach(payload)
 
@@ -218,9 +294,11 @@ class Endpoint:
         )
         if san is not None:
             san.on_block(self.rank, "send-rdv", dest, tag, env=env)
-        yield Wait(env.sent_signal)
+        result = yield Wait(env.sent_signal)
         if san is not None:
             san.on_unblock(self.rank)
+        if result is _POISON:
+            raise RankFailedError(dest, "send to")
         return None
 
     def recv(
@@ -238,6 +316,8 @@ class Endpoint:
         """
         comm = self.comm
         san = comm.san
+        if source != ANY_SOURCE and source in comm._dead:
+            raise RankFailedError(source, "receive from")
         env = comm._try_match(self.rank, source, tag)
         if env is None:
             if comm.net.spec.recv_mode == "polling":
@@ -247,6 +327,10 @@ class Endpoint:
                     san.on_block(self.rank, "recv-poll", source, tag)
                 while True:
                     yield Compute(chunk)
+                    if source != ANY_SOURCE and source in comm._dead:
+                        if san is not None:
+                            san.on_unblock(self.rank)
+                        raise RankFailedError(source, "receive from")
                     env = comm._try_match(self.rank, source, tag)
                     if env is not None:
                         break
@@ -262,6 +346,8 @@ class Endpoint:
                 env = yield Wait(sig)
                 if san is not None:
                     san.on_unblock(self.rank)
+        if env.poison:
+            raise RankFailedError(env.src, "receive from")
         if env.rendezvous and not env.data_ready:
             yield from self._pull_rendezvous(env)
         yield Compute(comm.net.cpu_cost(env.nbytes))
@@ -323,11 +409,15 @@ class Endpoint:
         comm = self.comm
         if not (0 <= dest < comm.size):
             raise MPIError(f"send to invalid rank {dest}")
+        req = Request(self)
+        if dest in comm._dead:
+            req._failed_rank = dest
+            req._complete(None)
+            return req
         nbytes = payload_nbytes(payload) if nbytes is None else int(nbytes)
         payload = _detach(payload)
         env = _Envelope(self.rank, dest, tag, payload, nbytes)
         env.seq = next(comm._seq)
-        req = Request(self)
         if comm.san is not None:
             comm.san.on_send(env)
 
@@ -348,7 +438,13 @@ class Endpoint:
                 env.data_ready = False
                 env.data_signal = comm.sim.signal("irdv-data")
                 env.sent_signal = comm.sim.signal("irdv-sent")
-                env.sent_signal.add_waiter(lambda _v: req._complete(None))
+
+                def on_sent(value) -> None:
+                    if value is _POISON:
+                        req._failed_rank = dest
+                    req._complete(None)
+
+                env.sent_signal.add_waiter(on_sent)
                 comm.net.transmit(
                     self.node_id, comm.node_of(dest), _CTRL_BYTES,
                     lambda: comm._deliver(env),
@@ -362,10 +458,17 @@ class Endpoint:
         """Non-blocking receive; ``wait()`` returns ``(payload, Status)``."""
         comm = self.comm
         req = Request(self)
+        if source != ANY_SOURCE and source in comm._dead:
+            req._failed_rank = source
+            req._complete(None)
+            return req
         env = comm._try_match(self.rank, source, tag)
 
         def finish(env: _Envelope) -> None:
-            if env.rendezvous and not env.data_ready:
+            if env.poison:
+                req._failed_rank = env.src
+                req._complete(None)
+            elif env.rendezvous and not env.data_ready:
                 # complete the handshake from a callback context
                 src_node = comm.node_of(env.src)
 

@@ -1,0 +1,57 @@
+"""repro.resilience — fault injection, checkpointing, crash recovery.
+
+The subsystem has three cooperating parts (docs/RESILIENCE.md):
+
+* **Failure injection** (:mod:`.failures`, :mod:`.board`): a
+  :class:`FailureScript` mirrors the workload
+  :class:`~repro.simcluster.workload.LoadScript`, triggering node
+  crashes, hard process kills, exception injection, transient
+  slowdowns, and network partitions at simulated times or phase-cycle
+  boundaries.  Ground-truth failure state lives on the cluster's
+  :class:`FailureBoard`.
+
+* **In-memory neighbor checkpointing** (:mod:`.checkpoint`): each rank
+  periodically packs its owned extended rows (the same serialization
+  redistribution uses) and ships the snapshot to its ring buddies.
+
+* **Crash recovery** (in :class:`repro.core.runtime.DynMPI`): a stale
+  ``dmpi_ps`` heartbeat makes relative-rank-0 suspect the node; the
+  suspicion rides the per-cycle control allgather so every rank sees
+  one consistent verdict; survivors excise the dead rank like an
+  involuntary Section 4.4 removal, with the buddy replaying the lost
+  rows from its stored checkpoint.
+"""
+
+from .board import FailureBoard
+from .checkpoint import (
+    Checkpoint,
+    CheckpointStore,
+    checkpoint_exchange,
+    holder_for,
+    ring_buddies,
+    snapshot,
+)
+from .failures import (
+    CycleFault,
+    FailureScript,
+    InjectedFault,
+    TimeFault,
+    node_crash,
+    terminate_rank,
+)
+
+__all__ = [
+    "FailureBoard",
+    "Checkpoint",
+    "CheckpointStore",
+    "checkpoint_exchange",
+    "holder_for",
+    "ring_buddies",
+    "snapshot",
+    "CycleFault",
+    "FailureScript",
+    "InjectedFault",
+    "TimeFault",
+    "node_crash",
+    "terminate_rank",
+]

@@ -1,0 +1,64 @@
+"""The failure board: ground-truth node-failure state.
+
+A :class:`FailureBoard` is the simulation's record of which nodes have
+failed and how.  It is *substrate* state — the analogue of the power
+light on a rack — written only by fault-injection events
+(:class:`~repro.resilience.failures.FailureScript`) and read by:
+
+* the ``dmpi_ps`` daemons, which stop sampling on a failed node (this
+  is what makes failures *detectable*: the heartbeat goes stale);
+* the Dyn-MPI runtime's crash protocol, where the authoritative
+  relative-rank-0 folds its local reading into the per-cycle control
+  allgather so every rank acts on one consistent view;
+* the job launcher, to tell an expected fault-induced death from an
+  application bug when the run ends.
+
+The board deliberately imports nothing, so any layer may depend on it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FailureBoard"]
+
+
+class FailureBoard:
+    """Per-node failure flags for one cluster."""
+
+    def __init__(self, n_nodes: int):
+        self.n_nodes = n_nodes
+        #: node_id -> sim time of the crash mark ("crash" faults:
+        #: fail-stop at the next phase-cycle boundary)
+        self._crashed: dict[int, float] = {}
+        #: node_id -> sim time of a hard process kill ("kill"/"inject"
+        #: faults: immediate, no recovery guarantee)
+        self._killed: dict[int, float] = {}
+
+    # -- writes (fault injection only) ---------------------------------
+    def mark_crashed(self, node_id: int, time: float) -> None:
+        self._crashed.setdefault(node_id, time)
+
+    def mark_killed(self, node_id: int, time: float) -> None:
+        self._killed.setdefault(node_id, time)
+
+    # -- reads ---------------------------------------------------------
+    def crashed(self, node_id: int) -> bool:
+        return node_id in self._crashed
+
+    def killed(self, node_id: int) -> bool:
+        return node_id in self._killed
+
+    def failed(self, node_id: int) -> bool:
+        """Any kind of injected failure (crash or hard kill)."""
+        return node_id in self._crashed or node_id in self._killed
+
+    def crash_time(self, node_id: int) -> float:
+        """Sim time the node's crash was injected (KeyError if alive)."""
+        if node_id in self._crashed:
+            return self._crashed[node_id]
+        return self._killed[node_id]
+
+    def failed_nodes(self) -> list[int]:
+        return sorted(set(self._crashed) | set(self._killed))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FailureBoard failed={self.failed_nodes()}>"

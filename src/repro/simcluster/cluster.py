@@ -11,7 +11,8 @@ from typing import Optional
 
 from ..analysis.sanitizer import CommSanitizer, sanitizer_enabled
 from ..config import ClusterSpec
-from .kernel import Simulator
+from ..resilience.board import FailureBoard
+from .kernel import SimProcess, Simulator
 from .network import Network
 from .node import Node
 from .rng import StreamRegistry
@@ -33,6 +34,13 @@ class Cluster:
         self.network = Network(self.sim, spec.network, spec.n_nodes)
         self.recorder = Recorder()
         self.load_script: Optional[LoadScript] = None
+        #: ground-truth node-failure state; always present (and empty)
+        #: so readers need no None checks
+        self.failure_board = FailureBoard(spec.n_nodes)
+        self.failure_script = None
+        #: node_id -> application (rank) processes launched there, the
+        #: kill/inject fault targets; populated by DynMPIJob.launch
+        self.app_procs: dict[int, list[SimProcess]] = {}
         self.sanitizer: Optional[CommSanitizer] = None
         if sanitizer_enabled(spec):
             self.sanitizer = CommSanitizer()
@@ -46,11 +54,20 @@ class Cluster:
         self.load_script = script
         script.install(self)
 
+    def install_failure_script(self, script) -> None:
+        self.failure_script = script
+        script.install(self)
+
+    def register_app_proc(self, node_id: int, proc: SimProcess) -> None:
+        self.app_procs.setdefault(node_id, []).append(proc)
+
     def notify_cycle(self, cycle: int) -> None:
         """Called by the runtime at phase-cycle boundaries so that
-        cycle-triggered load scripts can fire."""
+        cycle-triggered load and failure scripts can fire."""
         if self.load_script is not None:
             self.load_script.on_cycle(cycle)
+        if self.failure_script is not None:
+            self.failure_script.on_cycle(cycle)
 
     def competing_counts(self) -> list[int]:
         return [node.n_competing for node in self.nodes]

@@ -361,12 +361,17 @@ class Simulator:
         if blocked:
             raise DeadlockError(blocked)
 
-    def run_all(self, procs: Iterable[SimProcess], until: float = float("inf")) -> None:
+    def run_all(self, procs: Iterable[SimProcess], until: float = float("inf"),
+                tolerate=None) -> None:
         """Run until every process in ``procs`` has finished.
 
         Stops the event loop as soon as the last target process
         completes, so clusters with competing background processes or
         periodic daemons terminate cleanly.
+
+        ``tolerate``, when given, is a predicate over a failed process:
+        returning True accepts the death (an injected fault the caller
+        expected) instead of re-raising its error.
         """
         procs = list(procs)
         pending = {id(p) for p in procs if p.state not in (ProcState.DONE, ProcState.FAILED)}
@@ -384,6 +389,8 @@ class Simulator:
         if pending:
             self.run(until=until)
         for p in procs:
+            if tolerate is not None and p.state == ProcState.FAILED and tolerate(p):
+                continue
             if p.error is not None:
                 raise p.error
             if p.state != ProcState.DONE:

@@ -45,6 +45,11 @@ class Network:
         self._in_free = [0.0] * n_nodes
         self.n_messages = 0
         self.n_bytes = 0
+        #: isolated island of a network partition (empty = fully
+        #: connected); messages crossing the cut are *held*, not
+        #: dropped, and retransmitted on heal
+        self._island: frozenset[int] = frozenset()
+        self._held: list[tuple[int, int, int, Callable[[], None]]] = []
 
     def cpu_cost(self, nbytes: int) -> float:
         """CPU work units one endpoint spends handling a message."""
@@ -69,6 +74,11 @@ class Network:
             raise SimulationError(f"bad endpoints {src}->{dst}")
         if nbytes < 0:
             raise SimulationError(f"negative message size {nbytes}")
+        if self._crosses_cut(src, dst):
+            # hold until heal(); a partition delays traffic, it never
+            # loses it, so the layers above need no retransmission
+            self._held.append((src, dst, nbytes, on_delivered))
+            return float("inf")
         now = self.sim.now
         self.n_messages += 1
         self.n_bytes += nbytes
@@ -88,6 +98,36 @@ class Network:
         self._in_free[dst] = deliver
         self.sim.schedule(deliver - now, on_delivered)
         return deliver
+
+    # -- partitions ----------------------------------------------------
+    def partition(self, island: set[int]) -> None:
+        """Cut the switch between ``island`` and the remaining nodes.
+
+        Traffic inside the island and traffic entirely outside it still
+        flows; anything crossing the cut is held until :meth:`heal`.
+        """
+        for n in island:
+            if not (0 <= n < self.n_nodes):
+                raise SimulationError(f"bad partition node {n}")
+        self._island = frozenset(island)
+
+    def heal(self) -> None:
+        """Reconnect the island and retransmit every held message."""
+        self._island = frozenset()
+        held, self._held = self._held, []
+        for src, dst, nbytes, cb in held:
+            self.transmit(src, dst, nbytes, cb)
+
+    @property
+    def partitioned(self) -> bool:
+        return bool(self._island)
+
+    @property
+    def n_held(self) -> int:
+        return len(self._held)
+
+    def _crosses_cut(self, src: int, dst: int) -> bool:
+        return bool(self._island) and (src in self._island) != (dst in self._island)
 
     def sender_free_time(self, src: int, nbytes: int) -> float:
         """Time at which ``src``'s NIC would finish injecting a message

@@ -58,6 +58,8 @@ class DmpiPs:
     def _daemon(self, node_id: int, phase: float):
         yield Sleep(phase)
         while True:
+            if self.cluster.failure_board.crashed(node_id):
+                return  # a dead node samples nothing: heartbeat goes stale
             self._take_sample(node_id)
             yield Sleep(self.interval)
 
@@ -102,3 +104,20 @@ class DmpiPs:
 
     def history(self, node_id: int) -> list[tuple[float, int]]:
         return list(self._history[node_id])
+
+    def last_sample_time(self, node_id: int) -> float:
+        """Sim time of ``node_id``'s most recent heartbeat (the failure
+        detector's raw input); -inf before the first sample."""
+        hist = self._history[node_id]
+        return hist[-1][0] if hist else float("-inf")
+
+    def app_alive(self, node_id: int) -> bool:
+        """True while at least one monitored application process on the
+        node has neither finished nor died (vacuously True when nothing
+        is monitored there)."""
+        monitored = self._monitored[node_id]
+        if not monitored:
+            return True
+        return any(
+            p.state not in (ProcState.DONE, ProcState.FAILED) for p in monitored
+        )

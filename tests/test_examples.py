@@ -39,6 +39,12 @@ def test_cg_solver(capsys):
     assert "matches the sequential solver" in out
 
 
+def test_failover(capsys):
+    out = run_example("failover.py", capsys)
+    assert "crash_recovery" in out
+    assert "bitwise-equal to the crash-free run: YES" in out
+
+
 def test_scheduler_timeline(capsys):
     out = run_example("scheduler_timeline.py", capsys)
     assert "CPU timelines" in out

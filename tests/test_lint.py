@@ -170,6 +170,51 @@ def test_non_dataclass_defaults_ignored():
 
 
 # ----------------------------------------------------------------------
+# DYN301: ad-hoc fault injection in library code
+# ----------------------------------------------------------------------
+
+FAULTY = """
+    def excise(sim, proc):
+        sim.inject(proc, RuntimeError("zap"))
+        sim.kill(proc)
+"""
+
+
+def test_bare_kill_and_inject_flagged_in_library_zone():
+    findings = lint_source(textwrap.dedent(FAULTY),
+                           fault_injection_zone=True)
+    assert codes(findings) == ["DYN301", "DYN301"]
+    assert "sim.inject(...)" in findings[0].message
+    assert "FailureScript" in findings[0].message
+    # outside the zone (tests, examples, benchmarks) it is fine
+    assert lint_source(textwrap.dedent(FAULTY)) == []
+
+
+def test_dyn301_suppressible():
+    findings = lint_source(textwrap.dedent("""
+        def hard_stop(sim, proc):
+            sim.kill(proc)  # dynsan: ok
+    """), fault_injection_zone=True)
+    assert findings == []
+
+
+def test_dyn301_zone_detected_from_path(tmp_path):
+    lib = tmp_path / "repro" / "core"
+    lib.mkdir(parents=True)
+    exempt = tmp_path / "repro" / "resilience"
+    exempt.mkdir()
+    outside = tmp_path / "tests"
+    outside.mkdir()
+    code = "def f(sim, p):\n    sim.kill(p)\n"
+    (lib / "mod.py").write_text(code)
+    (exempt / "mod.py").write_text(code)
+    (outside / "mod.py").write_text(code)
+    assert codes(lint_file(lib / "mod.py")) == ["DYN301"]
+    assert lint_file(exempt / "mod.py") == []
+    assert lint_file(outside / "mod.py") == []
+
+
+# ----------------------------------------------------------------------
 # suppression + syntax errors
 # ----------------------------------------------------------------------
 

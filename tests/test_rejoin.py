@@ -5,7 +5,9 @@ disappears, receiving a fresh share of every registered array."""
 import numpy as np
 import pytest
 
-from repro.config import ClusterSpec, NetworkSpec, NodeSpec, RuntimeSpec
+from repro.config import (
+    ClusterSpec, NetworkSpec, NodeSpec, ResilienceSpec, RuntimeSpec,
+)
 from repro.core import AccessMode, DynMPIJob, NearestNeighbor
 from repro.simcluster import Cluster, CycleTrigger, LoadScript
 
@@ -96,6 +98,39 @@ def test_no_rejoin_without_flag():
     assert "rejoin" not in kinds
     s2, e2 = results[2]
     assert e2 < s2  # stays removed
+
+
+def test_rejoin_during_post_redistribution_period():
+    """A node may be re-admitted while the survivors are still inside
+    the post-redistribution damping window of an unrelated load change;
+    the rejoin resets the window rather than fighting it.  Runs with
+    checkpointing enabled so the rejoin path of the resilient control
+    exchange is the one exercised."""
+    cluster = make_cluster(4)
+    cluster.install_load_script(LoadScript(cycle_triggers=[
+        CycleTrigger(cycle=4, node=2, action="start", count=8),
+        # a second load change opens a long POST window on the
+        # survivor group just before node 2's load clears
+        CycleTrigger(cycle=48, node=1, action="start", count=1),
+        CycleTrigger(cycle=50, node=2, action="stop", count=8),
+    ]))
+    spec = RuntimeSpec(
+        grace_period=2, post_redist_period=40, allow_removal=True,
+        drop_mode="physical", allow_rejoin=True, daemon_interval=0.01,
+        resilience=ResilienceSpec(heartbeat_timeout=10.0),
+    )
+    job = DynMPIJob(cluster, spec)
+    results = job.launch(program, args=(140, SPEED * 0.2e-3 / N_ROWS * 4, True))
+    kinds = [ev.kind for ev in job.events]
+    assert "drop" in kinds and "rejoin" in kinds
+    rejoin_ev = next(ev for ev in job.events if ev.kind == "rejoin")
+    redists = [ev.cycle for ev in job.events
+               if ev.kind == "redistribute" and ev.cycle < rejoin_ev.cycle]
+    assert redists, f"no redistribution before the rejoin in {kinds}"
+    # the rejoin landed inside the open 40-cycle POST window
+    assert 1 <= rejoin_ev.cycle - max(redists) <= 40
+    total = sum(e - s + 1 for (s, e) in results if e >= s)
+    assert total == N_ROWS
 
 
 def test_rejoined_node_participates_in_collectives():
