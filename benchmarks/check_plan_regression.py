@@ -1,0 +1,61 @@
+"""Perf-smoke gate for the interval data plane.
+
+Compares a fresh ``DYNMPI_PLAN_SMOKE=1`` run of
+``bench_plan_scaling.py`` (which writes
+``results/BENCH_plan_scaling_smoke.json``) against the checked-in
+full-grid baseline ``results/BENCH_plan_scaling.json`` at the shared
+grid cell, and fails when the measured speedup falls below half the
+baseline's — i.e. when plan build + pack regressed by more than 2x
+relative to the set oracle.  Gating on the old/new *ratio* rather than
+wall-clock keeps the check machine-independent: both paths run on the
+same host, so a slow CI runner scales numerator and denominator alike.
+
+Usage (what the CI perf-smoke job runs)::
+
+    DYNMPI_PLAN_SMOKE=1 python -m pytest benchmarks/bench_plan_scaling.py -q
+    python benchmarks/check_plan_regression.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+BASELINE = RESULTS / "BENCH_plan_scaling.json"
+SMOKE = RESULTS / "BENCH_plan_scaling_smoke.json"
+ALLOWED_REGRESSION = 2.0
+
+
+def _speedups(path: pathlib.Path) -> dict:
+    cells = json.loads(path.read_text())["data"]
+    return {(c["n"], c["ranks"]): c["speedup"] for c in cells}
+
+
+def main() -> int:
+    for path in (BASELINE, SMOKE):
+        if not path.exists():
+            print(f"plan-regression: missing {path}", file=sys.stderr)
+            return 2
+    baseline = _speedups(BASELINE)
+    smoke = _speedups(SMOKE)
+    shared = sorted(set(baseline) & set(smoke))
+    if not shared:
+        print("plan-regression: no shared grid cells between baseline "
+              "and smoke run", file=sys.stderr)
+        return 2
+    failed = False
+    for cell in shared:
+        floor = baseline[cell] / ALLOWED_REGRESSION
+        status = "ok" if smoke[cell] >= floor else "REGRESSED"
+        failed |= status == "REGRESSED"
+        n, ranks = cell
+        print(f"plan-regression: n={n} ranks={ranks} "
+              f"speedup {smoke[cell]:.1f}x vs baseline {baseline[cell]:.1f}x "
+              f"(floor {floor:.1f}x) {status}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,279 @@
+"""Row-interval algebra: the data plane's unit of account.
+
+Every distribution this runtime manipulates is made of contiguous row
+ranges — loop bounds are ``(lo, hi)`` blocks, DRSDs extend them by
+constant halo offsets, and checkpoints snapshot owned blocks — so the
+sets the data plane juggles (needed rows, owned rows, transfer rows)
+are unions of a handful of intervals, never arbitrary scatters.
+Sudarsan & Ribbens ("Efficient Multidimensional Data Redistribution
+for Resizable Parallel Computations", PAPERS.md) make the same
+observation: redistribution planning is processor-count work, not
+element-count work, once sets are represented as intervals.
+
+:class:`IntervalSet` is that representation: an immutable, canonical
+(sorted, disjoint, maximally merged) tuple of inclusive ``(lo, hi)``
+spans with union / intersection / difference / clip in
+``O(spans)`` merge passes.  A plan step like
+``(needed[dst] - dst_old) & my_old`` therefore costs a few span
+comparisons where the old set-based plane paid one Python-level
+hash-set operation per row.
+
+Stride-aware path: a ``step > 1`` DRSD touches an arithmetic
+progression, which the canonical form represents exactly as
+single-row spans (:meth:`IntervalSet.from_strided` builds them without
+materializing a Python set).  Unit-stride accesses — every access the
+paper's applications make — stay O(1) single spans, which is what the
+complexity claim rests on; strided accesses degrade gracefully to
+O(rows/step) spans while remaining row-for-row exact.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Iterator, Optional, Tuple
+
+__all__ = ["IntervalSet", "Span"]
+
+Span = Tuple[int, int]  # inclusive (lo, hi)
+
+
+def _normalize(spans: Iterable[Span]) -> tuple:
+    """Sort, drop empties, and merge overlapping/adjacent spans."""
+    spans = sorted((int(lo), int(hi)) for lo, hi in spans if lo <= hi)
+    if not spans:
+        return ()
+    merged = [spans[0]]
+    for lo, hi in spans[1:]:
+        mlo, mhi = merged[-1]
+        if lo <= mhi + 1:  # overlap or adjacency: coalesce
+            if hi > mhi:
+                merged[-1] = (mlo, hi)
+        else:
+            merged.append((lo, hi))
+    return tuple(merged)
+
+
+class IntervalSet:
+    """An immutable set of integers stored as sorted disjoint inclusive
+    ``(lo, hi)`` spans.
+
+    Supports the set operators the redistribution plane needs
+    (``|``, ``&``, ``-``), containment, iteration in ascending order,
+    and equality against plain ``set``/``frozenset`` objects (so
+    interval-based results compare directly against set-based
+    reference oracles in tests).
+    """
+
+    __slots__ = ("_spans", "_count", "_los")
+
+    def __init__(self, spans: Iterable[Span] = ()):
+        object.__setattr__(self, "_spans", _normalize(spans))
+        object.__setattr__(
+            self, "_count", sum(hi - lo + 1 for lo, hi in self._spans)
+        )
+        object.__setattr__(self, "_los", [lo for lo, _ in self._spans])
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability
+        raise AttributeError("IntervalSet is immutable")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    _EMPTY: Optional["IntervalSet"] = None
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        if cls._EMPTY is None:
+            cls._EMPTY = cls()
+        return cls._EMPTY
+
+    @classmethod
+    def span(cls, lo: int, hi: int) -> "IntervalSet":
+        """The single inclusive span ``[lo, hi]`` (empty when hi < lo)."""
+        return cls(((lo, hi),))
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[int]) -> "IntervalSet":
+        """Coalesce an arbitrary iterable of row ids into spans."""
+        rows = sorted(set(int(g) for g in rows))
+        if not rows:
+            return cls.empty()
+        spans = []
+        lo = prev = rows[0]
+        for g in rows[1:]:
+            if g == prev + 1:
+                prev = g
+                continue
+            spans.append((lo, prev))
+            lo = prev = g
+        spans.append((lo, prev))
+        return cls(spans)
+
+    @classmethod
+    def from_range(cls, r: range) -> "IntervalSet":
+        if len(r) == 0:
+            return cls.empty()
+        if r.step == 1:
+            return cls.span(r.start, r.stop - 1)
+        if r.step == -1:
+            return cls.span(r.stop + 1, r.start)
+        return cls(tuple((g, g) for g in r))
+
+    @classmethod
+    def from_strided(cls, lo: int, hi: int, step: int) -> "IntervalSet":
+        """The arithmetic progression ``lo, lo+step, ... <= hi`` — the
+        stride-aware path for ``step > 1`` regular sections."""
+        if step == 1:
+            return cls.span(lo, hi)
+        return cls.from_range(range(lo, hi + 1, step))
+
+    @classmethod
+    def coerce(cls, rows) -> "IntervalSet":
+        """Accept an :class:`IntervalSet`, a ``range``, or any iterable
+        of row ids."""
+        if isinstance(rows, cls):
+            return rows
+        if isinstance(rows, range):
+            return cls.from_range(rows)
+        return cls.from_rows(rows)
+
+    @classmethod
+    def from_bounds(cls, b) -> "IntervalSet":
+        """Interpret one distribution-bounds entry: ``None`` (no rows),
+        an inclusive ``(lo, hi)`` pair, an explicit row set (crash
+        recovery hands the checkpoint holder non-contiguous ownership),
+        or an :class:`IntervalSet`."""
+        if b is None:
+            return cls.empty()
+        if isinstance(b, cls):
+            return b
+        if isinstance(b, (set, frozenset)):
+            return cls.from_rows(b)
+        lo, hi = b
+        return cls.span(lo, hi)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def spans(self) -> tuple:
+        return self._spans
+
+    @property
+    def n_spans(self) -> int:
+        return len(self._spans)
+
+    @property
+    def min_row(self) -> int:
+        if not self._spans:
+            raise ValueError("empty IntervalSet has no min_row")
+        return self._spans[0][0]
+
+    @property
+    def max_row(self) -> int:
+        if not self._spans:
+            raise ValueError("empty IntervalSet has no max_row")
+        return self._spans[-1][1]
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return bool(self._spans)
+
+    def __contains__(self, g: int) -> bool:
+        i = bisect_right(self._los, g) - 1
+        return i >= 0 and g <= self._spans[i][1]
+
+    def __iter__(self) -> Iterator[int]:
+        for lo, hi in self._spans:
+            yield from range(lo, hi + 1)
+
+    def to_rows(self) -> list:
+        return list(self)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, IntervalSet):
+            return self._spans == other._spans
+        if isinstance(other, (set, frozenset)):
+            return self._count == len(other) and all(g in self for g in other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._spans)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        body = ", ".join(
+            f"{lo}" if lo == hi else f"{lo}..{hi}" for lo, hi in self._spans
+        )
+        return f"IntervalSet({{{body}}})"
+
+    # ------------------------------------------------------------------
+    # algebra (merge passes, O(spans of both operands))
+    # ------------------------------------------------------------------
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        if not other:
+            return self
+        if not self:
+            return other
+        return IntervalSet(self._spans + other._spans)
+
+    __or__ = union
+
+    def intersect(self, other: "IntervalSet") -> "IntervalSet":
+        if not self or not other:
+            return IntervalSet.empty()
+        out = []
+        a, b = self._spans, other._spans
+        i = j = 0
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if lo <= hi:
+                out.append((lo, hi))
+            if a[i][1] < b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet(out)
+
+    __and__ = intersect
+
+    def subtract(self, other: "IntervalSet") -> "IntervalSet":
+        if not self or not other:
+            return self
+        out = []
+        j = 0
+        b = other._spans
+        for lo, hi in self._spans:
+            cur = lo
+            while j < len(b) and b[j][1] < cur:
+                j += 1
+            k = j  # j only advances past spans entirely below this span
+            while k < len(b) and b[k][0] <= hi:
+                blo, bhi = b[k]
+                if blo > cur:
+                    out.append((cur, blo - 1))
+                cur = max(cur, bhi + 1)
+                if cur > hi:
+                    break
+                k += 1
+            if cur <= hi:
+                out.append((cur, hi))
+        return IntervalSet(out)
+
+    __sub__ = subtract
+
+    def clip(self, lo: int, hi: int) -> "IntervalSet":
+        """Rows of this set inside the inclusive window ``[lo, hi]``."""
+        if not self._spans or hi < lo:
+            return IntervalSet.empty()
+        if lo <= self._spans[0][0] and self._spans[-1][1] <= hi:
+            return self
+        return self.intersect(IntervalSet.span(lo, hi))
+
+    def isdisjoint(self, other: "IntervalSet") -> bool:
+        return not self.intersect(other)
+
+    def issuperset(self, other: "IntervalSet") -> bool:
+        return not other.subtract(self)

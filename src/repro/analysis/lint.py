@@ -25,6 +25,13 @@ DYN301   bare ``Simulator.kill(...)``/``inject(...)`` in library code
          outside :mod:`repro.resilience` — ad-hoc fault injection
          bypasses the FailureBoard and the runtime's crash
          accounting; route faults through a ``FailureScript``
+DYN401   per-row row-membership construction in a data-plane hot
+         path (``core``/``resilience``): ``set(range(lo, hi))`` or a
+         list/set comprehension filtering ``range(lo, hi)`` builds
+         O(rows) Python objects where interval algebra
+         (:class:`repro.core.intervals.IntervalSet`) is O(spans);
+         the set-based reference oracle (``core/reference.py``) is
+         exempt
 =======  ==========================================================
 
 Suppress a finding by putting ``# dynsan: ok`` on the offending line.
@@ -65,6 +72,14 @@ FAULT_EXEMPT_ZONE = "resilience"
 
 #: Simulator methods that constitute fault injection
 _FAULT_METHODS = frozenset({"kill", "inject"})
+
+#: path components marking data-plane hot paths where per-row
+#: membership loops are banned (DYN401)
+ROW_MEMBERSHIP_ZONES = ("core", "resilience")
+
+#: the set-based reference oracle keeps the original per-row code as
+#: ground truth for property tests — exempt from DYN401 by filename
+ROW_MEMBERSHIP_EXEMPT_FILES = ("reference.py",)
 
 #: wallclock / entropy calls banned inside deterministic zones
 _BANNED_CALLS = frozenset({
@@ -109,11 +124,13 @@ def _dotted_name(node: ast.AST) -> Optional[str]:
 
 class _Linter(ast.NodeVisitor):
     def __init__(self, path: str, source: str, *, deterministic_zone: bool,
-                 fault_injection_zone: bool = False):
+                 fault_injection_zone: bool = False,
+                 row_membership_zone: bool = False):
         self.path = path
         self.lines = source.splitlines()
         self.zone = deterministic_zone
         self.fault_zone = fault_injection_zone
+        self.row_zone = row_membership_zone
         self.findings: list[LintFinding] = []
         #: local alias -> real module name (import numpy as np)
         self.aliases: dict[str, str] = {}
@@ -192,8 +209,56 @@ class _Linter(ast.NodeVisitor):
                        f"instead of driving it; use `yield from`")
         self.generic_visit(node)
 
-    # -- DYN101 / DYN301: calls ----------------------------------------
+    # -- DYN401: per-row row-membership construction --------------------
+    @staticmethod
+    def _is_row_range(node: ast.AST) -> bool:
+        """A ``range(lo, hi)``/``range(lo, hi, step)`` call — the shape
+        of a *row* loop.  Single-argument ``range(n)`` is rank-space
+        iteration (group sizes, not row counts) and stays allowed."""
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "range"
+            and len(node.args) >= 2
+        )
+
+    def _check_row_comprehension(self, node) -> None:
+        """list/set comprehensions that *filter* a row range build and
+        test one Python object per row."""
+        if not self.row_zone:
+            return
+        for gen in node.generators:
+            if gen.ifs and self._is_row_range(gen.iter):
+                kind = "set" if isinstance(node, ast.SetComp) else "list"
+                self._emit(node, "DYN401",
+                           f"per-row {kind} comprehension filters a row "
+                           f"range element by element; clip or subtract "
+                           f"with IntervalSet (repro.core.intervals) "
+                           f"instead — O(spans), not O(rows)")
+                return
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_row_comprehension(node)
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._check_row_comprehension(node)
+        self.generic_visit(node)
+
+    # -- DYN101 / DYN301 / DYN401: calls --------------------------------
     def visit_Call(self, node: ast.Call) -> None:
+        if self.row_zone:
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in ("set", "frozenset")
+                and len(node.args) == 1
+                and self._is_row_range(node.args[0])
+            ):
+                self._emit(node, "DYN401",
+                           f"`{node.func.id}(range(lo, hi))` materializes "
+                           f"one hash-set entry per row in a data-plane hot "
+                           f"path; use IntervalSet.span "
+                           f"(repro.core.intervals) — O(1), not O(rows)")
         if self.fault_zone:
             func = node.func
             if isinstance(func, ast.Attribute) and func.attr in _FAULT_METHODS:
@@ -285,22 +350,33 @@ def _in_fault_injection_zone(path: pathlib.Path) -> bool:
     return FAULT_LIBRARY_ZONE in parts and FAULT_EXEMPT_ZONE not in parts
 
 
+def _in_row_membership_zone(path: pathlib.Path) -> bool:
+    """Data-plane hot paths (``core``/``resilience``) where DYN401
+    applies; the set-based reference oracle is exempt by filename."""
+    if path.name in ROW_MEMBERSHIP_EXEMPT_FILES:
+        return False
+    return any(part in ROW_MEMBERSHIP_ZONES for part in path.parts)
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     *,
     deterministic_zone: bool = False,
     fault_injection_zone: bool = False,
+    row_membership_zone: bool = False,
 ) -> list[LintFinding]:
     """Lint python ``source``; ``deterministic_zone`` enables DYN101,
-    ``fault_injection_zone`` enables DYN301."""
+    ``fault_injection_zone`` enables DYN301, ``row_membership_zone``
+    enables DYN401."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         return [LintFinding(path, exc.lineno or 0, exc.offset or 0,
                             "DYN000", f"syntax error: {exc.msg}")]
     linter = _Linter(path, source, deterministic_zone=deterministic_zone,
-                     fault_injection_zone=fault_injection_zone)
+                     fault_injection_zone=fault_injection_zone,
+                     row_membership_zone=row_membership_zone)
     linter.visit(tree)
     return sorted(linter.findings, key=lambda f: (f.path, f.line, f.col))
 
@@ -311,6 +387,7 @@ def lint_file(path: pathlib.Path) -> list[LintFinding]:
         str(path),
         deterministic_zone=_in_deterministic_zone(path),
         fault_injection_zone=_in_fault_injection_zone(path),
+        row_membership_zone=_in_row_membership_zone(path),
     )
 
 

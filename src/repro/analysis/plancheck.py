@@ -36,7 +36,8 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from ..core.drsd import DRSD
-from ..core.redistribute import Bounds, needed_map
+from ..core.intervals import IntervalSet
+from ..core.redistribute import Bounds, needed_map, owned_intervals, plan_sends
 from ..errors import PlanCheckError
 
 __all__ = [
@@ -109,11 +110,6 @@ def accesses_to_phases(accesses: Sequence[DRSD]) -> Mapping[int, _AccessPhase]:
     return {0: _AccessPhase(0, accesses)}
 
 
-def _owned(bounds: Bounds, rel: int) -> set[int]:
-    b = bounds[rel]
-    return set() if b is None else set(range(b[0], b[1] + 1))
-
-
 def build_plan(
     old_bounds: Bounds,
     new_bounds: Bounds,
@@ -122,21 +118,17 @@ def build_plan(
 ) -> RedistPlan:
     """Derive the plan :func:`~repro.core.redistribute.redistribute`
     would execute: ``src`` sends ``dst`` the rows ``dst`` needs under
-    the new bounds, did not own before, and ``src`` did own before."""
+    the new bounds, did not own before, and ``src`` did own before.
+    Derivation is pure interval algebra
+    (:func:`~repro.core.redistribute.plan_sends`); only the explicit
+    plan object expands transfers to row tuples."""
     n = len(new_bounds)
     needed = needed_map(phases, new_bounds, array_rows)
     plan = RedistPlan(n)
-    for src in range(n):
-        src_old = _owned(old_bounds, src)
-        if not src_old:
-            continue
-        for dst in range(n):
-            if dst == src:
-                continue
-            dst_old = _owned(old_bounds, dst)
-            for name in array_rows:
-                rows = (needed[dst][name] - dst_old) & src_old
-                plan.add(src, dst, name, rows)
+    for (src, dst), entry in plan_sends(old_bounds, needed,
+                                        list(array_rows)).items():
+        for name, rows in entry.items():
+            plan.add(src, dst, name, rows)
     return plan
 
 
@@ -177,8 +169,8 @@ def verify_plan(
                 "self-send", "*", f"rank {src} schedules a message to itself"
             ))
             continue
-        src_old = _owned(old_bounds, src)
-        dst_old = _owned(old_bounds, dst)
+        src_old = owned_intervals(old_bounds, src)
+        dst_old = owned_intervals(old_bounds, dst)
         for name, rows in sorted(entry.items()):
             if name not in array_rows:
                 violations.append(PlanViolation(
@@ -186,59 +178,69 @@ def verify_plan(
                     f"unregistered array"
                 ))
                 continue
-            unowned = sorted(set(rows) - src_old)
+            rows_ivl = IntervalSet.from_rows(rows)
+            unowned = rows_ivl - src_old
             if unowned:
                 violations.append(PlanViolation(
                     "unowned-send", name,
-                    f"rank {src} sends rows {unowned} to {dst} but did not "
-                    f"own them under the old distribution (stale ghost "
-                    f"copies must never be the source)",
+                    f"rank {src} sends rows {unowned.to_rows()} to {dst} "
+                    f"but did not own them under the old distribution "
+                    f"(stale ghost copies must never be the source)",
                 ))
             if new_bounds[dst] is None and not needed[dst][name]:
                 violations.append(PlanViolation(
                     "send-to-removed", name,
                     f"rank {dst} is removed (no new bounds) yet rank {src} "
-                    f"sends it rows {sorted(rows)[:8]} — removed nodes get "
-                    f"send-out, never send-in",
+                    f"sends it rows {rows_ivl.to_rows()[:8]} — removed "
+                    f"nodes get send-out, never send-in",
                 ))
                 continue
-            phantom = sorted(set(rows) - set(needed[dst][name]))
+            phantom = rows_ivl - needed[dst][name]
             if phantom:
                 violations.append(PlanViolation(
                     "phantom-row", name,
-                    f"rank {src} sends rows {phantom} to {dst}, which needs "
-                    f"none of them under the new bounds",
+                    f"rank {src} sends rows {phantom.to_rows()} to {dst}, "
+                    f"which needs none of them under the new bounds",
                 ))
-            already = sorted(set(rows) & dst_old)
+            already = rows_ivl & dst_old
             if already:
                 violations.append(PlanViolation(
                     "phantom-row", name,
-                    f"rank {src} re-sends rows {already} that {dst} already "
-                    f"owns authoritatively",
+                    f"rank {src} re-sends rows {already.to_rows()} that "
+                    f"{dst} already owns authoritatively",
                 ))
 
     # -- receiver-side coverage: every newly needed row arrives once ----
     for dst in range(n):
-        dst_old = _owned(old_bounds, dst)
+        dst_old = owned_intervals(old_bounds, dst)
         for name, n_rows in array_rows.items():
-            must_arrive = set(needed[dst][name]) - dst_old
-            arrivals: dict[int, list[int]] = {}
-            for src, rows in plan.incoming(dst, name):
-                for r in rows:
-                    arrivals.setdefault(r, []).append(src)
-            lost = sorted(must_arrive - set(arrivals))
+            must_arrive = needed[dst][name] - dst_old
+            incoming = [
+                (src, IntervalSet.from_rows(rows))
+                for src, rows in plan.incoming(dst, name)
+            ]
+            seen = IntervalSet.empty()
+            dup = IntervalSet.empty()
+            for _src, rows_ivl in incoming:
+                dup = dup | (seen & rows_ivl)
+                seen = seen | rows_ivl
+            lost = must_arrive - seen
             if lost:
                 violations.append(PlanViolation(
                     "lost-row", name,
-                    f"rank {dst} needs rows {lost} under the new bounds but "
-                    f"no rank sends them (hold() would silently zero-fill)",
+                    f"rank {dst} needs rows {lost.to_rows()} under the new "
+                    f"bounds but no rank sends them (hold() would silently "
+                    f"zero-fill)",
                 ))
-            dupes = {r: s for r, s in arrivals.items() if len(s) > 1}
-            for r, senders in sorted(dupes.items()):
+            # sender lookup only for the (rare) duplicated rows
+            for r in dup:
+                senders = sorted(
+                    src for src, rows_ivl in incoming if r in rows_ivl
+                )
                 violations.append(PlanViolation(
                     "duplicate-row", name,
                     f"row {r} arrives at rank {dst} from multiple senders "
-                    f"{sorted(senders)}",
+                    f"{senders}",
                 ))
 
     # -- ghost coverage: needed sets reach every DRSD read access -------
@@ -251,14 +253,14 @@ def verify_plan(
             for acc in phase.accesses:
                 if not acc.reads:
                     continue
-                touched = set(acc.rows_needed(s, e, array_rows[acc.array]))
-                gap = sorted(touched - set(needed[rel][acc.array]))
+                touched = acc.needed_intervals(s, e, array_rows[acc.array])
+                gap = touched - needed[rel][acc.array]
                 if gap:
                     violations.append(PlanViolation(
                         "ghost-gap", acc.array,
-                        f"rank {rel} reads rows {gap} (DRSD offsets "
-                        f"[{acc.lo_off},{acc.hi_off}]) but its needed set "
-                        f"omits them",
+                        f"rank {rel} reads rows {gap.to_rows()} (DRSD "
+                        f"offsets [{acc.lo_off},{acc.hi_off}]) but its "
+                        f"needed set omits them",
                     ))
 
     if violations and raise_on_error:

@@ -31,6 +31,7 @@ from .commcost import (
 )
 from .distribution import BlockDistribution, CyclicDistribution, shares_to_blocks
 from .drsd import DRSD, AccessMode
+from .intervals import IntervalSet
 from .loadmon import LoadMonitor
 from .phase import Phase
 from .power import available_powers, naive_shares
@@ -47,6 +48,7 @@ __all__ = [
     "RuntimeEvent",
     "DRSD",
     "AccessMode",
+    "IntervalSet",
     "Phase",
     "BlockDistribution",
     "CyclicDistribution",

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import RegistrationError
+from .intervals import IntervalSet
 
 __all__ = ["AccessMode", "DRSD"]
 
@@ -77,6 +78,20 @@ class DRSD:
         if hi < lo:
             return range(0)
         return range(lo, hi + 1, self.step)
+
+    def needed_intervals(self, s: int, e: int, n_rows: int) -> IntervalSet:
+        """Rows this access touches when the loop runs ``[s, e]``, as an
+        :class:`~repro.core.intervals.IntervalSet` — a single span for
+        the unit-stride case (O(1) regardless of the loop length), the
+        stride-aware path otherwise.  Row-for-row identical to
+        :meth:`rows_needed`."""
+        if e < s:
+            return IntervalSet.empty()
+        lo = max(0, s + self.lo_off)
+        hi = min(n_rows - 1, e + self.hi_off)
+        if hi < lo:
+            return IntervalSet.empty()
+        return IntervalSet.from_strided(lo, hi, self.step)
 
     def halo_width(self) -> tuple[int, int]:
         """(rows below, rows above) the owned range that must be

@@ -1,0 +1,13 @@
+"""Row-interval algebra — public home of :class:`IntervalSet`.
+
+The implementation lives in :mod:`repro._intervals`, a leaf module
+with no intra-package imports, because both layers of the data plane
+depend on it: :mod:`repro.dmem` (slab-backed storage) sits *below*
+:mod:`repro.core` (redistribution planning), and importing it from
+either package must not drag the other's ``__init__`` into a cycle.
+Import it from here (``repro.core.intervals``) everywhere above dmem.
+"""
+
+from .._intervals import IntervalSet, Span
+
+__all__ = ["IntervalSet", "Span"]

@@ -24,6 +24,7 @@ time in experiments reflects the allocation scheme.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Generator, Mapping, Optional, Sequence
 
@@ -32,9 +33,16 @@ from ..errors import RedistributionError
 from ..mpi import Endpoint, Group
 from ..mpi.collectives import alltoallv
 from ..simcluster import Compute
+from .intervals import IntervalSet
 from .phase import Phase
 
-__all__ = ["RedistReport", "needed_map", "redistribute"]
+__all__ = [
+    "RedistReport",
+    "needed_map",
+    "owned_intervals",
+    "plan_sends",
+    "redistribute",
+]
 
 Bounds = Sequence[Optional[tuple[int, int]]]
 
@@ -53,12 +61,19 @@ def needed_map(
     phases: Mapping[int, Phase],
     bounds: Bounds,
     array_rows: Mapping[str, int],
-) -> list[dict[str, set[int]]]:
-    """needed[rel][array] = set of global rows rank ``rel`` must hold
-    under loop ``bounds`` (owned + DRSD ghosts), for every rank."""
+) -> list[dict[str, IntervalSet]]:
+    """needed[rel][array] = :class:`IntervalSet` of global rows rank
+    ``rel`` must hold under loop ``bounds`` (owned + DRSD ghosts), for
+    every rank.
+
+    Each unit-stride access contributes one span, so building the map
+    is O(ranks · arrays · accesses) — independent of the row count.
+    The result compares equal to the per-row reference
+    (:func:`repro.core.reference.needed_map_sets`) row for row.
+    """
     n = len(bounds)
-    needed: list[dict[str, set[int]]] = [
-        {name: set() for name in array_rows} for _ in range(n)
+    spans: list[dict[str, list]] = [
+        {name: [] for name in array_rows} for _ in range(n)
     ]
     for rel in range(n):
         b = bounds[rel]
@@ -73,20 +88,71 @@ def needed_map(
                         f"phase {phase.phase_id} accesses unregistered array "
                         f"{acc.array!r}"
                     )
-                needed[rel][acc.array].update(acc.rows_needed(s, e, n_rows))
-    return needed
+                spans[rel][acc.array].extend(
+                    acc.needed_intervals(s, e, n_rows).spans
+                )
+    return [
+        {name: IntervalSet(sp) for name, sp in per_rel.items()}
+        for per_rel in spans
+    ]
 
 
-def _owned_rows(bounds: Bounds, rel: int) -> set[int]:
-    b = bounds[rel]
-    if b is None:
-        return set()
-    if isinstance(b, (set, frozenset)):
-        # explicit row set: crash recovery hands the checkpoint holder
-        # its own rows plus the adopted (possibly non-contiguous) rows
-        # of the rank it stands in for
-        return set(b)
-    return set(range(b[0], b[1] + 1))
+def owned_intervals(bounds: Bounds, rel: int) -> IntervalSet:
+    """Rows rank ``rel`` owns under ``bounds`` — a single span for a
+    ``(lo, hi)`` block, an explicit (possibly non-contiguous) set when
+    crash recovery hands the checkpoint holder its own rows plus the
+    adopted rows of the rank it stands in for."""
+    return IntervalSet.from_bounds(bounds[rel])
+
+
+def plan_sends(
+    old_bounds: Bounds,
+    needed: Sequence[Mapping[str, IntervalSet]],
+    array_names: Sequence[str],
+) -> dict:
+    """The full send rule for a group at once:
+    ``sends[(src, dst)][array]`` = :class:`IntervalSet` of rows ``src``
+    packs for ``dst`` (rows ``dst`` needs now, did not own before, and
+    ``src`` did own before).  Empty transfers are omitted.
+
+    Rather than testing every ``(src, dst)`` pair, each destination's
+    *missing* spans are bisected into a sorted index of old-ownership
+    spans, so only the senders that actually overlap are ever touched —
+    O(ranks · arrays · (log ranks + transfers)).  Row-for-row equal to
+    :func:`repro.core.reference.plan_sends_sets`.
+
+    Old ownership must partition the rows (disjoint across ranks),
+    which the runtime guarantees: crash recovery hands a dead rank's
+    rows to its checkpoint buddy and leaves the dead rank's entry
+    ``None``, never duplicating an owner (the Section 4.4 unique-old-
+    owner invariant plancheck enforces).
+    """
+    n = len(old_bounds)
+    owned = [owned_intervals(old_bounds, r) for r in range(n)]
+    index = sorted(
+        (lo, hi, src) for src in range(n) for lo, hi in owned[src].spans
+    )
+    starts = [lo for lo, _, _ in index]
+
+    acc: dict[tuple[int, int, str], list] = {}
+    for dst in range(n):
+        for name in array_names:
+            missing = needed[dst][name] - owned[dst]
+            for lo, hi in missing.spans:
+                i = max(bisect_right(starts, lo) - 1, 0)
+                while i < len(index) and index[i][0] <= hi:
+                    slo, shi, src = index[i]
+                    i += 1
+                    if shi < lo or src == dst:
+                        continue
+                    acc.setdefault((src, dst, name), []).append(
+                        (max(lo, slo), min(hi, shi))
+                    )
+
+    sends: dict = {}
+    for (src, dst, name), spans in acc.items():
+        sends.setdefault((src, dst), {})[name] = IntervalSet(spans)
+    return sends
 
 
 def redistribute(
@@ -95,7 +161,7 @@ def redistribute(
     old_bounds: Bounds,
     new_bounds: Bounds,
     arrays: Mapping[str, object],
-    needed: Sequence[Mapping[str, set[int]]],
+    needed: Sequence[Mapping[str, IntervalSet]],
     mem_model: MemCostModel,
     memory_bytes: int = 0,
 ) -> Generator:
@@ -109,19 +175,21 @@ def redistribute(
         raise RedistributionError("bounds/needed must cover the whole group")
 
     report = RedistReport()
-    my_old = _owned_rows(old_bounds, me)
+    my_old = owned_intervals(old_bounds, me)
 
     # -- build one packed block per destination -------------------------
+    # interval algebra: each send set is two merge passes over a
+    # handful of spans, never a per-row set operation
     blocks: list = [None] * n
     nbytes: list[int] = [64] * n
     for dst in range(n):
         if dst == me:
             continue
-        dst_old = _owned_rows(old_bounds, dst)
+        dst_old = owned_intervals(old_bounds, dst)
         entry = {}
         total = 64
         for name, arr in arrays.items():
-            rows = sorted((needed[dst][name] - dst_old) & my_old)
+            rows = (needed[dst][name] - dst_old) & my_old
             if not rows:
                 continue
             payload, nb = arr.pack(rows)

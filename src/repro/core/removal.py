@@ -82,10 +82,10 @@ def evaluate_drop(
         # power discounted by measured load
         for r in range(1, loaded.size):
             for keep_loaded in combinations(loaded, r):
-                removed = tuple(sorted(set(loaded) - set(keep_loaded)))
-                kept = sorted(set(range(n)) - set(removed))
+                removed_arr = np.setdiff1d(loaded, keep_loaded)
+                kept = np.setdiff1d(np.arange(n), removed_arr)
                 avails = speeds[kept] / np.maximum(loads[kept], 1)
-                candidates.append((removed, avails))
+                candidates.append((tuple(int(x) for x in removed_arr), avails))
 
     best: Optional[tuple[float, tuple, np.ndarray]] = None
     for removed, avails in candidates:

@@ -65,6 +65,7 @@ from .distribution import BlockDistribution, shares_to_blocks
 from .drsd import DRSD
 from .loadmon import FailureDetector, LoadMonitor
 from .phase import Phase
+from .intervals import IntervalSet
 from .redistribute import needed_map, redistribute
 from .removal import evaluate_drop
 from .timing import GraceSamples, estimate_unloaded_times
@@ -583,8 +584,8 @@ class DynMPI:
         """Survivor-side data recovery: the holder replays each dead
         rank's checkpoint into its own arrays, then a redistribution
         over the survivor group rebalances — the holder's old
-        ownership is a row *set* (its own rows plus the adopted,
-        possibly non-contiguous, rows of the dead rank)."""
+        ownership is a row :class:`IntervalSet` (its own rows plus the
+        adopted, possibly non-contiguous, rows of the dead rank)."""
         res = self.spec.resilience
         n = old_group.size
         dead_rels = [old_group.rel(w) for w in active_dead]
@@ -601,14 +602,15 @@ class DynMPI:
         # (the checkpoint-freshness invariant makes the replica's shape
         # derivable from the shared bounds), so the recorded event does
         # not depend on which rank appends it.
-        adopted_by_world: dict[int, set[int]] = {}
+        adopted_by_world: dict[int, IntervalSet] = {}
         replayed = 0
         for dr, hrel in holders.items():
-            b = self.bounds[dr]
-            rows = set() if b is None else set(range(b[0], b[1] + 1))
-            adopted_by_world.setdefault(old_group.world(hrel), set()).update(rows)
+            rows = IntervalSet.from_bounds(self.bounds[dr])
+            hw = old_group.world(hrel)
+            adopted_by_world[hw] = \
+                adopted_by_world.get(hw, IntervalSet.empty()) | rows
             replayed += sum(
-                sum(1 for g in rows if g < arr.n_rows)
+                len(rows.clip(0, arr.n_rows - 1))
                 for arr in self.arrays.values()
             )
             if hrel == me_old:
@@ -623,10 +625,9 @@ class DynMPI:
         new_world = tuple(w for w in old_group.ranks if w not in active_dead)
         old_bounds = []
         for w in new_world:
-            b = self.bounds[old_group.rel(w)]
-            own = set() if b is None else set(range(b[0], b[1] + 1))
-            own |= adopted_by_world.get(w, set())
-            old_bounds.append(frozenset(own) if own else None)
+            own = IntervalSet.from_bounds(self.bounds[old_group.rel(w)])
+            own = own | adopted_by_world.get(w, IntervalSet.empty())
+            old_bounds.append(own if own else None)
 
         shares = np.ones(len(new_world)) / len(new_world)
         nd = shares_to_blocks(self.loop_size, shares, self.row_weights)
@@ -885,7 +886,7 @@ class DynMPI:
     # ------------------------------------------------------------------
     # adaptation internals
     # ------------------------------------------------------------------
-    def _needed(self, bounds) -> list[dict[str, set[int]]]:
+    def _needed(self, bounds) -> list[dict[str, IntervalSet]]:
         array_rows = {name: arr.n_rows for name, arr in self.arrays.items()}
         return needed_map(self.phases, bounds, array_rows)
 

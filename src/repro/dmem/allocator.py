@@ -31,16 +31,31 @@ class AllocStats:
     pointer_moves: int = 0  # top-level vector entries rewritten
 
     def record_alloc(self, nbytes: int) -> None:
-        if nbytes < 0:
-            raise AllocationError(f"negative allocation: {nbytes}")
-        self.n_allocs += 1
-        self.bytes_allocated += nbytes
+        self.record_allocs(1, nbytes)
+
+    def record_allocs(self, count: int, total_nbytes: int) -> None:
+        """Record ``count`` allocations totalling ``total_nbytes`` in
+        one bookkeeping step.  The slab-backed layouts account per
+        extended row (Figure 3 charges one malloc per row) while doing
+        O(spans) Python work."""
+        if total_nbytes < 0:
+            raise AllocationError(f"negative allocation: {total_nbytes}")
+        if count < 0:
+            raise AllocationError(f"negative allocation count: {count}")
+        self.n_allocs += count
+        self.bytes_allocated += total_nbytes
 
     def record_free(self, nbytes: int) -> None:
-        if nbytes < 0:
-            raise AllocationError(f"negative free: {nbytes}")
-        self.n_frees += 1
-        self.bytes_freed += nbytes
+        self.record_frees(1, nbytes)
+
+    def record_frees(self, count: int, total_nbytes: int) -> None:
+        """Bulk counterpart of :meth:`record_free`."""
+        if total_nbytes < 0:
+            raise AllocationError(f"negative free: {total_nbytes}")
+        if count < 0:
+            raise AllocationError(f"negative free count: {count}")
+        self.n_frees += count
+        self.bytes_freed += total_nbytes
 
     def record_copy(self, nbytes: int) -> None:
         if nbytes < 0:

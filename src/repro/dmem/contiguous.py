@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from .._intervals import IntervalSet
 from ..errors import AllocationError
 from .allocator import AllocStats
 
@@ -121,8 +122,28 @@ class ContiguousArray:
         buf[:] = np.asarray(data, dtype=self.dtype).reshape(self.row_elems)
         self.stats.record_copy(self.row_nbytes)
 
-    def pack(self, rows: Sequence[int]):
-        """Same wire format as :meth:`ProjectedArray.pack`."""
+    def pack(self, rows):
+        """Same wire format as :meth:`ProjectedArray.pack`; with an
+        :class:`IntervalSet` the payload is one slice copy per span."""
+        if isinstance(rows, (IntervalSet, range)):
+            ivl = IntervalSet.coerce(rows)
+            nbytes = len(ivl) * self.row_nbytes
+            held = (IntervalSet.empty() if self._lo is None
+                    else IntervalSet.span(self._lo, self._hi))
+            missing = ivl - held
+            if missing:
+                raise AllocationError(
+                    f"{self.name}: packing unheld row {missing.min_row}")
+            if not self.materialized:
+                return None, nbytes
+            out = np.empty((len(ivl), self.row_elems), dtype=self.dtype)
+            pos = 0
+            for lo, hi in ivl.spans:
+                n = hi - lo + 1
+                out[pos: pos + n] = self._data[lo - self._lo: hi - self._lo + 1]
+                pos += n
+            self.stats.record_copy(nbytes)
+            return out, nbytes
         nbytes = len(rows) * self.row_nbytes
         if not self.materialized:
             for g in rows:
@@ -135,7 +156,29 @@ class ContiguousArray:
         self.stats.record_copy(nbytes)
         return out, nbytes
 
-    def unpack(self, rows: Sequence[int], payload) -> None:
+    def unpack(self, rows, payload) -> None:
+        if isinstance(rows, (IntervalSet, range)):
+            ivl = IntervalSet.coerce(rows)
+            held = (IntervalSet.empty() if self._lo is None
+                    else IntervalSet.span(self._lo, self._hi))
+            outside = ivl - held
+            if outside:
+                raise AllocationError(
+                    f"{self.name}: contiguous layout cannot accept row "
+                    f"{outside.min_row} outside its range {self.bounds}; "
+                    f"resize first"
+                )
+            if not self.materialized:
+                return
+            payload = np.asarray(payload, dtype=self.dtype)
+            pos = 0
+            for lo, hi in ivl.spans:
+                n = hi - lo + 1
+                self._data[lo - self._lo: hi - self._lo + 1] = \
+                    payload[pos: pos + n]
+                pos += n
+            self.stats.record_copy(len(ivl) * self.row_nbytes)
+            return
         for g in rows:
             if not self.holds(g):
                 raise AllocationError(

@@ -22,6 +22,7 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from .._intervals import IntervalSet
 from ..errors import AllocationError
 from .allocator import AllocStats
 
@@ -36,8 +37,19 @@ ELEM_WIRE_BYTES = 8 + 4
 ROW_WIRE_BYTES = 8
 
 
+#: shared read-only stand-in for a held row with no elements yet; rows
+#: are materialized as real lists only when they gain an element
+_EMPTY_ROW: list = []
+
+
 class SparseMatrix:
-    """A distributed sparse matrix, vector of lists of (col, val)."""
+    """A distributed sparse matrix, vector of lists of (col, val).
+
+    Row *membership* is interval-indexed (an :class:`IntervalSet` of
+    held global rows), so hold/drop/retarget cost O(intervals); the
+    per-row element lists — the layout the paper's iterator API and
+    automatic redistribution rely on — are materialized lazily, only
+    for rows that actually carry elements."""
 
     def __init__(self, name: str, shape: tuple[int, int], dtype=np.float64):
         n_rows, n_cols = int(shape[0]), int(shape[1])
@@ -49,6 +61,8 @@ class SparseMatrix:
         self.n_cols = n_cols
         self.dtype = np.dtype(dtype)
         self.stats = AllocStats()
+        self._held = IntervalSet.empty()
+        #: materialized rows only (held rows absent here are empty)
         self._rows: dict[int, list[list]] = {}  # g -> [[col, val], ...]
         self._csr_version = 0
 
@@ -64,61 +78,82 @@ class SparseMatrix:
             raise AllocationError(f"{self.name}: column {c} out of range [0,{self.n_cols})")
 
     def hold(self, rows: Iterable[int]) -> int:
-        added = 0
-        for g in rows:
-            self._check_row(g)
-            if g not in self._rows:
-                self._rows[g] = []
-                self.stats.record_alloc(0)
-                added += 1
-        if added:
-            self._csr_version += 1
-        return added
+        ivl = IntervalSet.coerce(rows)
+        if ivl:
+            if ivl.min_row < 0:
+                self._check_row(ivl.min_row)
+            if ivl.max_row >= self.n_rows:
+                self._check_row(ivl.max_row)
+        new = ivl - self._held
+        if not new:
+            return 0
+        self._held = self._held | new
+        self.stats.record_allocs(len(new), 0)
+        self._csr_version += 1
+        return len(new)
 
     def drop(self, rows: Iterable[int]) -> int:
-        dropped = 0
-        for g in rows:
-            row = self._rows.pop(g, None)
-            if row is not None:
-                self.stats.record_free(len(row) * ELEM_STORE_BYTES)
-                dropped += 1
-        if dropped:
-            self._csr_version += 1
-        return dropped
+        gone = IntervalSet.coerce(rows) & self._held
+        if not gone:
+            return 0
+        freed = 0
+        # element bytes live only in materialized rows; visit whichever
+        # side is smaller
+        if len(self._rows) <= len(gone):
+            hit = [g for g in self._rows if g in gone]
+        else:
+            hit = [g for g in gone if g in self._rows]
+        for g in hit:
+            freed += len(self._rows.pop(g)) * ELEM_STORE_BYTES
+        self._held = self._held - gone
+        self.stats.record_frees(len(gone), freed)
+        self._csr_version += 1
+        return len(gone)
 
     def holds(self, g: int) -> bool:
-        return g in self._rows
+        return g in self._held
 
     def held_rows(self) -> list[int]:
-        return sorted(self._rows)
+        return self._held.to_rows()
+
+    def held_intervals(self) -> IntervalSet:
+        return self._held
 
     @property
     def n_held(self) -> int:
-        return len(self._rows)
+        return len(self._held)
 
     @property
     def held_nbytes(self) -> int:
         return sum(len(r) for r in self._rows.values()) * ELEM_STORE_BYTES
 
     def row_nnz(self, g: int) -> int:
-        return len(self._row(g))
+        return len(self._peek(g))
 
     def row_wire_nbytes(self, g: int) -> int:
         return ROW_WIRE_BYTES + self.row_nnz(g) * ELEM_WIRE_BYTES
 
-    def _row(self, g: int) -> list[list]:
+    def _peek(self, g: int) -> list[list]:
+        """Read-only view of row ``g``'s element list (the shared empty
+        list for held-but-empty rows — never mutate the result)."""
         self._check_row(g)
-        try:
-            return self._rows[g]
-        except KeyError:
-            raise AllocationError(f"{self.name}: row {g} is not held locally") from None
+        if g not in self._held:
+            raise AllocationError(f"{self.name}: row {g} is not held locally")
+        return self._rows.get(g, _EMPTY_ROW)
+
+    def _row(self, g: int) -> list[list]:
+        """Mutable element list of row ``g``, materializing it."""
+        self._check_row(g)
+        if g not in self._held:
+            raise AllocationError(f"{self.name}: row {g} is not held locally")
+        return self._rows.setdefault(g, [])
 
     # ------------------------------------------------------------------
     # element access
     # ------------------------------------------------------------------
     def get(self, g: int, col: int) -> float:
         self._check_col(col)
-        for c, v in self._row(g):
+        for c, v in self._peek(g):
             if c == col:
                 return v
         return 0.0
@@ -126,7 +161,7 @@ class SparseMatrix:
     def set(self, g: int, col: int, value) -> None:
         """Set element (g, col); appends if absent, removes on 0.0."""
         self._check_col(col)
-        row = self._row(g)
+        row = self._peek(g)
         for item in row:
             if item[0] == col:
                 if value == 0.0:
@@ -137,7 +172,7 @@ class SparseMatrix:
                 self._csr_version += 1
                 return
         if value != 0.0:
-            row.append([col, value])
+            self._row(g).append([col, value])
             self.stats.record_alloc(ELEM_STORE_BYTES)
             self._csr_version += 1
 
@@ -156,7 +191,7 @@ class SparseMatrix:
         self._csr_version += 1
 
     def row_items(self, g: int) -> list[tuple[int, float]]:
-        return [(c, v) for c, v in self._row(g)]
+        return [(c, v) for c, v in self._peek(g)]
 
     def iterator(self, g: Optional[int] = None) -> "SparseIterator":
         """The paper's row iterator; starts at row ``g`` (default:
@@ -173,17 +208,19 @@ class SparseMatrix:
         arrays: ``row_ptr`` (len k+1), ``cols``, ``vals`` — the
         list-to-vector conversion of paper Section 4.4.
         """
+        rows = list(rows)
         k = len(rows)
         row_ptr = np.zeros(k + 1, dtype=np.int64)
+        lists = [self._peek(g) for g in rows]
         total = 0
-        for i, g in enumerate(rows):
-            total += len(self._row(g))
+        for i, row in enumerate(lists):
+            total += len(row)
             row_ptr[i + 1] = total
         cols = np.empty(total, dtype=np.int32)
         vals = np.empty(total, dtype=self.dtype)
         pos = 0
-        for g in rows:
-            for c, v in self._row(g):
+        for row in lists:
+            for c, v in row:
                 cols[pos] = c
                 vals[pos] = v
                 pos += 1
@@ -198,21 +235,32 @@ class SparseMatrix:
         row_ptr = payload["row_ptr"]
         cols = payload["cols"]
         vals = payload["vals"]
+        rows = list(rows)
         if len(row_ptr) != len(rows) + 1:
             raise AllocationError(f"{self.name}: row_ptr/rows mismatch")
         self.hold(rows)
         for i, g in enumerate(rows):
             lo, hi = int(row_ptr[i]), int(row_ptr[i + 1])
+            if lo == hi:
+                # incoming row is empty: clear any stale content but do
+                # not materialize an element list for it
+                stale = self._rows.pop(g, None)
+                if stale:
+                    self.stats.record_free(len(stale) * ELEM_STORE_BYTES)
+                continue
             self.set_row_items(g, cols[lo:hi], vals[lo:hi])
         self._csr_version += 1
 
     def retarget(self, keep: Iterable[int]) -> None:
         """Drop rows outside ``keep``; pointer-vector rewrite, matching
         :meth:`ProjectedArray.retarget`."""
-        keep = set(keep)
-        for g in keep:
-            self._check_row(g)
-        self.drop([g for g in self._rows if g not in keep])
+        keep = IntervalSet.coerce(keep)
+        if keep:
+            if keep.min_row < 0:
+                self._check_row(keep.min_row)
+            if keep.max_row >= self.n_rows:
+                self._check_row(keep.max_row)
+        self.drop(self._held - keep)
         self.stats.record_pointer_moves(self.n_rows)
 
     # ------------------------------------------------------------------
@@ -245,7 +293,7 @@ class SparseIterator:
         self._held = held
         if row is None:
             row = held[0]
-        if row not in matrix._rows:
+        if not matrix.holds(row):
             raise AllocationError(f"{matrix.name}: row {row} is not held locally")
         self._row_pos = held.index(row)
         self._elem_pos = 0
@@ -256,11 +304,11 @@ class SparseIterator:
 
     def has_next(self) -> bool:
         """True if the current row has another element."""
-        return self._elem_pos < len(self.matrix._rows[self.row])
+        return self._elem_pos < len(self.matrix._peek(self.row))
 
     def next(self) -> tuple[int, float]:
         """Return the next (col, value) of the current row and advance."""
-        row = self.matrix._rows[self.row]
+        row = self.matrix._peek(self.row)
         if self._elem_pos >= len(row):
             raise AllocationError("iterator exhausted; advance_row or rewind")
         c, v = row[self._elem_pos]
@@ -270,7 +318,7 @@ class SparseIterator:
     def set_next(self, value: float) -> None:
         """Overwrite the value of the element ``next()`` would return,
         without advancing."""
-        row = self.matrix._rows[self.row]
+        row = self.matrix._peek(self.row)
         if self._elem_pos >= len(row):
             raise AllocationError("iterator exhausted; nothing to set")
         row[self._elem_pos][1] = float(value)

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator, Mapping, Optional, Sequence
 
+from .._intervals import IntervalSet  # leaf import: keeps repro.core acyclic
 from ..errors import CheckpointLostError
 
 __all__ = [
@@ -47,16 +48,15 @@ class Checkpoint:
     owner_world: int
     cycle: int
     bounds: Optional[tuple[int, int]]
-    #: array name -> (rows, packed payload); payload is None for
-    #: virtual arrays (sizes were still charged on the wire)
+    #: array name -> (row IntervalSet, packed payload); payload is None
+    #: for virtual arrays (sizes were still charged on the wire)
     arrays: dict = field(default_factory=dict)
     nbytes: int = _HEADER_BYTES
 
-    def owned_rows(self) -> set[int]:
-        if self.bounds is None:
-            return set()
-        s, e = self.bounds
-        return set(range(s, e + 1))
+    def owned_rows(self) -> IntervalSet:
+        """The owner's row interval (compares equal to the equivalent
+        plain set)."""
+        return IntervalSet.from_bounds(self.bounds)
 
     def n_rows(self) -> int:
         return len(self.owned_rows())
@@ -125,7 +125,9 @@ def snapshot(arrays: Mapping[str, object],
         return ckpt
     s, e = bounds
     for name, arr in arrays.items():
-        rows = [g for g in range(s, e + 1) if g < arr.n_rows]
+        # clip the owned range against the array height up front: one
+        # interval op, and the pack below moves whole slabs per array
+        rows = IntervalSet.span(s, min(e, arr.n_rows - 1))
         if not rows:
             continue
         payload, nb = arr.pack(rows)

@@ -215,6 +215,70 @@ def test_dyn301_zone_detected_from_path(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# DYN401: per-row set arithmetic on data-plane hot paths
+# ----------------------------------------------------------------------
+
+ROWY = """
+    def owned(b):
+        return set(range(b[0], b[1] + 1))
+
+    def ghosts(lo, hi, held):
+        return [g for g in range(lo, hi + 1) if g not in held]
+
+    def stale(lo, hi, keep):
+        return {g for g in range(lo, hi) if g in keep}
+"""
+
+
+def test_dyn401_flags_row_loops_in_zone():
+    findings = lint_source(textwrap.dedent(ROWY), row_membership_zone=True)
+    assert codes(findings) == ["DYN401", "DYN401", "DYN401"]
+    assert "IntervalSet" in findings[0].message
+    # outside core/resilience the same code is fine
+    assert lint_source(textwrap.dedent(ROWY)) == []
+
+
+def test_dyn401_allows_rank_space_and_unfiltered_loops():
+    findings = lint_source(textwrap.dedent("""
+        def alive(n, dead):
+            return set(range(n)) - set(dead)       # rank space: 1-arg range
+
+        def widths(lo, hi):
+            return [g * 2 for g in range(lo, hi)]  # no membership filter
+
+        def lazy(lo, hi, held):
+            return (g for g in range(lo, hi) if g in held)  # genexp
+    """), row_membership_zone=True)
+    assert findings == []
+
+
+def test_dyn401_suppressible():
+    findings = lint_source(textwrap.dedent("""
+        def owned(b):
+            return set(range(b[0], b[1] + 1))  # dynsan: ok
+    """), row_membership_zone=True)
+    assert findings == []
+
+
+def test_dyn401_zone_and_reference_exemption(tmp_path):
+    code = "def owned(b):\n    return set(range(b[0], b[1] + 1))\n"
+    zone = tmp_path / "core"
+    zone.mkdir()
+    (zone / "mod.py").write_text(code)
+    (zone / "reference.py").write_text(code)
+    res = tmp_path / "resilience"
+    res.mkdir()
+    (res / "mod.py").write_text(code)
+    outside = tmp_path / "bench"
+    outside.mkdir()
+    (outside / "mod.py").write_text(code)
+    assert codes(lint_file(zone / "mod.py")) == ["DYN401"]
+    assert lint_file(zone / "reference.py") == []   # the set oracle
+    assert codes(lint_file(res / "mod.py")) == ["DYN401"]
+    assert lint_file(outside / "mod.py") == []
+
+
+# ----------------------------------------------------------------------
 # suppression + syntax errors
 # ----------------------------------------------------------------------
 
