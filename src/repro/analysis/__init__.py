@@ -15,9 +15,14 @@ Three independent layers (see ``docs/ANALYSIS.md``):
   failure modes generic linters cannot see (undriven generator
   endpoints, nondeterminism in the deterministic zones, mutable
   dataclass defaults).
+* :mod:`repro.analysis.flow` — dynflow, the whole-program
+  communication-flow analyzer: CFG-based collective matching,
+  rank-divergence detection, and static ownership checking over the
+  interprocedural call graph of the applications (DYN5xx codes).
 
-Command line: ``python -m repro.analysis lint src/`` and
-``python -m repro.analysis plan spec.json``.
+Command line: ``python -m repro.analysis lint src/``,
+``python -m repro.analysis plan spec.json``, and
+``python -m repro.analysis flow src/repro examples``.
 
 Only the sanitizer is imported eagerly: :mod:`repro.simcluster` wires
 it into every cluster, and importing :mod:`plancheck` here would close
@@ -34,9 +39,10 @@ __all__ = [
     "sanitizer_enabled",
     "plancheck",
     "lint",
+    "flow",
 ]
 
-_LAZY = ("plancheck", "lint")
+_LAZY = ("plancheck", "lint", "flow")
 
 
 def __getattr__(name: str):

@@ -2,12 +2,20 @@
 
 Usage::
 
-    python -m repro.analysis lint src/ [more paths...]
+    python -m repro.analysis lint src/ [more paths...] [--json]
     python -m repro.analysis plan spec.json [--quiet]
+    python -m repro.analysis flow src/repro examples [--json]
 
 ``lint`` walks the given files/trees and prints one line per finding
 (``path:line:col: CODE message``), exiting 1 if any remain — the CI
 correctness gate.
+
+``flow`` runs dynflow, the whole-program communication-flow analyzer
+(collective matching, rank-divergence detection, static ownership
+checking — DYN5xx codes; see :mod:`repro.analysis.flow`).
+
+All subcommands share the exit-code contract: 0 clean, 1 findings,
+2 usage or internal error.
 
 ``plan`` statically verifies a redistribution plan from a JSON spec::
 
@@ -121,6 +129,22 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(f"lint: cannot read {exc.filename}: {exc.strerror}",
               file=sys.stderr)
         return 2
+    if args.json:
+        print(json.dumps(
+            {
+                "tool": "dynsan-lint",
+                "count": len(findings),
+                "findings": [
+                    {
+                        "path": f.path, "line": f.line, "col": f.col,
+                        "code": f.code, "message": f.message,
+                    }
+                    for f in findings
+                ],
+            },
+            indent=2,
+        ))
+        return 1 if findings else 0
     for f in findings:
         print(f)
     if findings:
@@ -129,6 +153,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if not args.quiet:
         print("lint: clean")
     return 0
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    from .flow import run_flow
+
+    return run_flow(
+        args.paths,
+        json_out=args.json,
+        quiet=args.quiet,
+        baseline=args.baseline,
+        write_baseline=args.write_baseline,
+        max_seconds=args.max_seconds,
+    )
 
 
 def main(argv=None) -> int:
@@ -141,12 +178,29 @@ def main(argv=None) -> int:
     p_lint = sub.add_parser("lint", help="project-specific AST lint")
     p_lint.add_argument("paths", nargs="+", help="files or directories")
     p_lint.add_argument("--quiet", action="store_true")
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable findings on stdout")
     p_lint.set_defaults(fn=_cmd_lint)
 
     p_plan = sub.add_parser("plan", help="verify a redistribution plan")
     p_plan.add_argument("spec", help="JSON plan spec (see module docstring)")
     p_plan.add_argument("--quiet", action="store_true")
     p_plan.set_defaults(fn=_cmd_plan)
+
+    p_flow = sub.add_parser(
+        "flow", help="dynflow whole-program communication-flow analysis"
+    )
+    p_flow.add_argument("paths", nargs="+", help="files or directories")
+    p_flow.add_argument("--quiet", action="store_true")
+    p_flow.add_argument("--json", action="store_true",
+                        help="machine-readable findings on stdout")
+    p_flow.add_argument("--baseline", metavar="FILE", default=None,
+                        help="suppress findings whose fingerprint is in FILE")
+    p_flow.add_argument("--write-baseline", metavar="FILE", default=None,
+                        help="write current findings to FILE and continue")
+    p_flow.add_argument("--max-seconds", type=float, default=None,
+                        help="fail (exit 2) if analysis exceeds this budget")
+    p_flow.set_defaults(fn=_cmd_flow)
 
     args = parser.parse_args(argv)
     return args.fn(args)

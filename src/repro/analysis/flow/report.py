@@ -1,0 +1,195 @@
+"""Findings, diagnostics, suppressions, and baselines for dynflow.
+
+A :class:`FlowFinding` is one DYN5xx diagnostic.  Unlike the lint
+findings (one line, one message), flow findings carry *path-sensitive*
+context: for a divergence finding the two communication traces a pair
+of ranks would emit are rendered side by side, so the reader sees the
+mismatch instead of reconstructing it.
+
+=======  ==========================================================
+code     meaning
+=======  ==========================================================
+DYN501   collective sequence diverges across the arms of a
+         rank-dependent branch — some ranks emit a collective the
+         others never enter (deadlock or silent data skew)
+DYN502   a loop whose trip count is rank-dependent contains a
+         collective — different ranks execute it a different
+         number of times
+DYN503   send-in from a removed rank: an active-group collective
+         or a send is reachable on a path where
+         ``ctx.participating()`` is statically false (paper 4.4:
+         removed nodes skip send-in, they only receive send-out)
+DYN504   computation touches array rows outside the owned+halo
+         region declared by the phase's DRSD accesses
+DYN505   collectives pair up across a rank-dependent branch but
+         with different signatures (op/root/scope) — matched in
+         count, mismatched in meaning
+=======  ==========================================================
+
+Suppression: put ``# dynflow: ok`` on the line the finding anchors
+to, or check the finding's fingerprint into a baseline file
+(``--baseline findings.json`` / ``--write-baseline``).  Fingerprints
+deliberately exclude line numbers so a baseline survives unrelated
+edits to the same file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "CODES",
+    "FlowFinding",
+    "SideBySide",
+    "load_baseline",
+    "save_baseline",
+    "render_findings",
+    "findings_to_json",
+]
+
+#: one-line summaries, used by ``--json`` output and the docs table
+CODES = {
+    "DYN501": "collective sequence diverges on a rank-dependent branch",
+    "DYN502": "rank-dependent loop bound around a collective",
+    "DYN503": "send-in reachable on a removed (non-participating) path",
+    "DYN504": "array access outside the owned+halo region",
+    "DYN505": "collective signature mismatch across a rank-dependent branch",
+}
+
+SUPPRESS_MARK = "dynflow: ok"
+
+
+@dataclass(frozen=True)
+class SideBySide:
+    """The two diverging communication traces of a DYN501/503/505
+    finding, already rendered one event per line."""
+
+    left_label: str
+    right_label: str
+    left: tuple
+    right: tuple
+
+    def lines(self, indent: str = "    ") -> list:
+        width = max(
+            [len(self.left_label)] + [len(s) for s in self.left] + [24]
+        )
+        out = [
+            f"{indent}{self.left_label:<{width}} | {self.right_label}",
+            f"{indent}{'-' * width}-+-{'-' * max(len(self.right_label), 24)}",
+        ]
+        n = max(len(self.left), len(self.right))
+        lefts = list(self.left) + [""] * (n - len(self.left))
+        rights = list(self.right) + [""] * (n - len(self.right))
+        if not self.left:
+            lefts = ["(no communication)"] + [""] * (n - 1) if n else []
+        if not self.right:
+            rights = ["(no communication)"] + [""] * (n - 1) if n else []
+        for ls, rs in zip(lefts, rights):
+            out.append(f"{indent}{ls:<{width}} | {rs}")
+        return out
+
+
+@dataclass(frozen=True)
+class FlowFinding:
+    path: str
+    line: int
+    col: int
+    code: str
+    function: str        # qualified name of the analyzed function
+    message: str
+    anchor: str = ""     # line-independent fingerprint material
+    side_by_side: Optional[SideBySide] = None
+    hint: str = ""
+    detail: dict = field(default_factory=dict, compare=False, hash=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable id for baselines: no line numbers, so the entry
+        survives edits elsewhere in the file."""
+        raw = f"{self.code}|{self.path}|{self.function}|{self.anchor}"
+        return hashlib.sha1(raw.encode()).hexdigest()[:16]
+
+    def render(self) -> str:
+        lines = [
+            f"{self.path}:{self.line}:{self.col}: {self.code} "
+            f"[{self.function}] {self.message}"
+        ]
+        if self.side_by_side is not None:
+            lines.extend(self.side_by_side.lines())
+        if self.hint:
+            lines.append(f"    hint: {self.hint}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        d = {
+            "code": self.code,
+            "summary": CODES.get(self.code, ""),
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "function": self.function,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+        if self.side_by_side is not None:
+            d["traces"] = {
+                "left_label": self.side_by_side.left_label,
+                "right_label": self.side_by_side.right_label,
+                "left": list(self.side_by_side.left),
+                "right": list(self.side_by_side.right),
+            }
+        if self.hint:
+            d["hint"] = self.hint
+        if self.detail:
+            d["detail"] = self.detail
+        return d
+
+
+def load_baseline(path) -> set:
+    """Read a baseline file; returns the set of suppressed
+    fingerprints (empty for a missing file)."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        return set()
+    return {str(e["fingerprint"]) for e in data.get("findings", [])}
+
+
+def save_baseline(path, findings) -> None:
+    data = {
+        "tool": "dynflow",
+        "findings": [
+            {
+                "fingerprint": f.fingerprint,
+                "code": f.code,
+                "path": f.path,
+                "function": f.function,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def render_findings(findings) -> str:
+    return "\n".join(f.render() for f in findings)
+
+
+def findings_to_json(findings, *, suppressed: int = 0,
+                     elapsed: Optional[float] = None) -> dict:
+    out = {
+        "tool": "dynflow",
+        "count": len(findings),
+        "suppressed": suppressed,
+        "findings": [f.to_json() for f in findings],
+    }
+    if elapsed is not None:
+        out["elapsed_seconds"] = round(elapsed, 3)
+    return out

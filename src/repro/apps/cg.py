@@ -92,8 +92,9 @@ def cg_program(ctx, cfg: CGConfig) -> Generator:
     residual = float("nan")
     for _t in range(cfg.iters):
         yield from ctx.begin_cycle()
-        if ctx.participating():
-            s, e = ctx.my_bounds()
+        participating = ctx.participating()
+        s, e = ctx.my_bounds()
+        if participating:
             # 1. allgather p
             if e >= s:
                 block = (
@@ -124,28 +125,32 @@ def cg_program(ctx, cfg: CGConfig) -> Generator:
 
                 yield from ctx.compute(1, work_of, exec_rows)
 
-            # 3. the two global reductions + vector updates
-            if cfg.exact_math and e >= s:
-                pq_local = float(sum(p.row(g)[0] * q.row(g)[0] for g in range(s, e + 1)))
-            else:
-                pq_local = 0.0
-            pq = yield from ctx.global_reduce(pq_local)
-            alpha = rho / pq if (cfg.exact_math and pq != 0.0) else 0.0
-            if cfg.exact_math and e >= s:
+        # 3. the two global reductions + vector updates.  Every rank —
+        # removed ones included — enters global_reduce: a removed rank
+        # contributes nothing but still *receives* the send-out values
+        # (4.4), keeping its alpha/beta/rho recurrence consistent for
+        # when it rejoins.
+        if participating and cfg.exact_math and e >= s:
+            pq_local = float(sum(p.row(g)[0] * q.row(g)[0] for g in range(s, e + 1)))
+        else:
+            pq_local = 0.0
+        pq = yield from ctx.global_reduce(pq_local)
+        alpha = rho / pq if (cfg.exact_math and pq != 0.0) else 0.0
+        if participating and cfg.exact_math and e >= s:
+            for g in range(s, e + 1):
+                x.row(g)[0] += alpha * p.row(g)[0]
+                r.row(g)[0] -= alpha * q.row(g)[0]
+            rr_local = float(sum(r.row(g)[0] ** 2 for g in range(s, e + 1)))
+        else:
+            rr_local = 0.0
+        rr = yield from ctx.global_reduce(rr_local)
+        if cfg.exact_math:
+            beta = rr / rho if rho > 0 else 0.0
+            if participating and e >= s:
                 for g in range(s, e + 1):
-                    x.row(g)[0] += alpha * p.row(g)[0]
-                    r.row(g)[0] -= alpha * q.row(g)[0]
-                rr_local = float(sum(r.row(g)[0] ** 2 for g in range(s, e + 1)))
-            else:
-                rr_local = 0.0
-            rr = yield from ctx.global_reduce(rr_local)
-            if cfg.exact_math:
-                beta = rr / rho if rho > 0 else 0.0
-                if e >= s:
-                    for g in range(s, e + 1):
-                        p.row(g)[0] = r.row(g)[0] + beta * p.row(g)[0]
-                rho = rr
-                residual = float(np.sqrt(rr))
+                    p.row(g)[0] = r.row(g)[0] + beta * p.row(g)[0]
+            rho = rr
+            residual = float(np.sqrt(rr))
         yield from ctx.end_cycle()
 
     return {

@@ -1,0 +1,18 @@
+"""Seeded-bad dynflow fixture: a collective guarded by a
+rank-dependent condition with no matching call on the other arm.
+
+Ranks whose owned block is large enter the allreduce; small-block
+ranks skip it — the classic divergence deadlock.  dynflow must flag
+the ``if`` with DYN501 and show the two traces side by side.
+"""
+
+
+def skewed_reduce_program(ctx, cfg):
+    yield from ctx.begin_cycle()
+    s, e = ctx.my_bounds()
+    local = float(e - s + 1)
+    if e - s > 10:
+        # only "big" ranks reduce: the others never enter the call
+        local = yield from ctx.allreduce_active(local)
+    yield from ctx.end_cycle()
+    return local

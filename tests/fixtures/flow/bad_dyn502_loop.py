@@ -1,0 +1,15 @@
+"""Seeded-bad dynflow fixture: a collective inside a loop whose trip
+count is rank-dependent.
+
+Each rank iterates once per *owned row*, and every iteration enters a
+world-scope ``global_reduce`` — ranks owning different block sizes
+execute a different number of collectives.  DYN502.
+"""
+
+
+def per_row_reduce_program(ctx, cfg):
+    total = 0.0
+    s, e = ctx.my_bounds()
+    for g in range(s, e + 1):
+        total = yield from ctx.global_reduce(float(g))
+    return total

@@ -1,0 +1,21 @@
+"""Seeded-bad dynflow fixture: send-in on a removed path.
+
+The paper's Section 4.4 invariant says a removed node only *receives*
+(send-out); here the non-participating branch both sends point-to-
+point traffic and enters an active-group collective.  Both are DYN503.
+"""
+
+STATUS_TAG = 55
+
+
+def chatty_removed_program(ctx, cfg):
+    yield from ctx.begin_cycle()
+    if ctx.participating():
+        acc = yield from ctx.allreduce_active(1.0)
+    else:
+        # a removed rank must not send...
+        yield from ctx.send_rel(0, STATUS_TAG, "still here", nbytes=16)
+        # ...and must not enter an active-group collective
+        acc = yield from ctx.allreduce_active(0.0)
+    yield from ctx.end_cycle()
+    return acc

@@ -1,0 +1,24 @@
+"""Seeded-bad dynflow fixture: array access outside owned+halo.
+
+The phase declares a one-row halo (``lo_off=-1, hi_off=1``) but the
+kernel reads two rows back — row ``s - 2`` is never redistributed to
+this rank.  DYN504, caught by the witness-partition evaluator.
+"""
+
+from repro.core import AccessMode, NearestNeighbor
+
+
+def widestencil_program(ctx, cfg):
+    n = 1000
+    grid = ctx.register_dense("grid", (n, n), materialized=True)
+    ctx.init_phase(1, n, NearestNeighbor(row_nbytes=n * 8))
+    ctx.add_array_access(1, "grid", AccessMode.READWRITE, lo_off=-1, hi_off=1)
+    ctx.commit()
+
+    yield from ctx.begin_cycle()
+    if ctx.participating():
+        s, e = ctx.my_bounds()
+        for g in range(s, e + 1):
+            above = grid.row(g - 2)  # two rows back: outside the halo
+            grid.row(g)[:] = above
+    yield from ctx.end_cycle()

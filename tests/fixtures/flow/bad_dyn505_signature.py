@@ -1,0 +1,16 @@
+"""Seeded-bad dynflow fixture: collectives pair up across a
+rank-dependent branch but with different signatures.
+
+Both arms broadcast — same collective count, so naive length matching
+passes — but from *different roots*, so the group disagrees about who
+is sending.  DYN505 (signature mismatch), not DYN501.
+"""
+
+
+def two_roots_program(ctx, cfg):
+    s, e = ctx.my_bounds()
+    if e - s > 4:
+        value = yield from ctx.bcast_active(float(e - s), 0)
+    else:
+        value = yield from ctx.bcast_active(float(e - s), 1)
+    return value
