@@ -40,6 +40,28 @@ def _jsonable(obj):
     return str(obj)
 
 
+def _obs_summary():
+    """Cost-attribution summaries of every live dynscope recorder —
+    attached to BENCH json sidecars so a traced bench run
+    (``DYNMPI_OBS=1``) carries its own per-phase breakdown.  Untraced
+    runs (the default) have no enabled recorders and pay nothing."""
+    from repro.obs import session_recorders
+    from repro.obs.report import attribute
+
+    summaries = []
+    for rec in session_recorders():
+        if not rec.events:
+            continue
+        report = attribute(e.to_dict() for e in rec.sorted_events())
+        summaries.append({
+            "n_events": len(rec.events),
+            "wall": report["wall"],
+            "phases": report["total"],
+            "adaptations": report["adaptations"],
+        })
+    return summaries or None
+
+
 @pytest.fixture(autouse=True, scope="session")
 def _sanitizer_must_be_off():
     """Benchmark numbers must come from unsanitized runs.
@@ -76,9 +98,12 @@ def record_table(results_dir):
         print(table)
         print(f"[written to {path}]")
         if data is not None:
+            payload = {"name": name, "data": _jsonable(data)}
+            obs = _obs_summary()
+            if obs is not None:
+                payload["obs"] = obs
             jpath = results_dir / f"BENCH_{name}.json"
             jpath.write_text(
-                json.dumps({"name": name, "data": _jsonable(data)},
-                           indent=2, sort_keys=True) + "\n")
+                json.dumps(payload, indent=2, sort_keys=True) + "\n")
             print(f"[data written to {jpath}]")
     return _record

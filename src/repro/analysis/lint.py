@@ -32,6 +32,14 @@ DYN401   per-row row-membership construction in a data-plane hot
          (:class:`repro.core.intervals.IntervalSet`) is O(spans);
          the set-based reference oracle (``core/reference.py``) is
          exempt
+DYN601   ad-hoc instrumentation in library code (under ``repro``):
+         raw ``time.time``-family reads or bare ``print(...)`` —
+         measure with the :mod:`repro.sysmon` timers and report
+         through :mod:`repro.obs` (dynscope) instead.  The two
+         instrumentation homes (``sysmon/``, ``obs/``), the dynflow
+         driver (``flow/``), CLI entry points (``__main__.py``) and
+         report formatters (``report.py``) are exempt; inside
+         deterministic zones the time-family check defers to DYN101
 =======  ==========================================================
 
 Suppress a finding by putting ``# dynsan: ok`` on the offending line.
@@ -81,6 +89,22 @@ ROW_MEMBERSHIP_ZONES = ("core", "resilience")
 #: ground truth for property tests — exempt from DYN401 by filename
 ROW_MEMBERSHIP_EXEMPT_FILES = ("reference.py",)
 
+#: library zone where DYN601 (ad-hoc instrumentation) applies
+OBS_ZONE = "repro"
+#: sanctioned instrumentation homes — plus the dynflow driver, whose
+#: wall-clock analysis budget (``--max-seconds``) is the feature
+OBS_EXEMPT_DIRS = ("sysmon", "obs", "flow")
+#: CLI entry points and report formatters exist to write to stdout
+OBS_EXEMPT_FILES = ("__main__.py", "report.py")
+
+#: wallclock reads DYN601 flags in library code (DYN101's time-family
+#: subset; entropy stays DYN101-only — it is a determinism bug, not an
+#: instrumentation one)
+_OBS_TIME_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns", "time.process_time",
+})
+
 #: wallclock / entropy calls banned inside deterministic zones
 _BANNED_CALLS = frozenset({
     "time.time", "time.time_ns", "time.perf_counter", "time.perf_counter_ns",
@@ -125,17 +149,22 @@ def _dotted_name(node: ast.AST) -> Optional[str]:
 class _Linter(ast.NodeVisitor):
     def __init__(self, path: str, source: str, *, deterministic_zone: bool,
                  fault_injection_zone: bool = False,
-                 row_membership_zone: bool = False):
+                 row_membership_zone: bool = False,
+                 instrumentation_zone: bool = False):
         self.path = path
         self.lines = source.splitlines()
         self.zone = deterministic_zone
         self.fault_zone = fault_injection_zone
         self.row_zone = row_membership_zone
+        self.inst_zone = instrumentation_zone
         self.findings: list[LintFinding] = []
         #: local alias -> real module name (import numpy as np)
         self.aliases: dict[str, str] = {}
         #: names imported *from* banned modules (from random import choice)
         self.from_random: set[str] = set()
+        #: local name -> dotted origin for ``from time import ...``
+        #: (so DYN601 sees through ``from time import time as wallclock``)
+        self.from_time: dict[str, str] = {}
 
     # -- helpers --------------------------------------------------------
     def _suppressed(self, node: ast.AST) -> bool:
@@ -189,6 +218,9 @@ class _Linter(ast.NodeVisitor):
                        "importing from `random` breaks determinism; use the "
                        "cluster's seeded StreamRegistry instead")
             self.from_random.update(a.asname or a.name for a in node.names)
+        if node.module == "time":
+            for a in node.names:
+                self.from_time[a.asname or a.name] = f"time.{a.name}"
         self.generic_visit(node)
 
     # -- DYN001: bare generator statement -------------------------------
@@ -245,8 +277,24 @@ class _Linter(ast.NodeVisitor):
         self._check_row_comprehension(node)
         self.generic_visit(node)
 
-    # -- DYN101 / DYN301 / DYN401: calls --------------------------------
+    # -- DYN101 / DYN301 / DYN401 / DYN601: calls -----------------------
     def visit_Call(self, node: ast.Call) -> None:
+        if self.inst_zone:
+            if isinstance(node.func, ast.Name) and node.func.id == "print":
+                self._emit(node, "DYN601",
+                           "bare `print(...)` in library code; record a "
+                           "dynscope span/metric (repro.obs) or return the "
+                           "text to the caller")
+            elif not self.zone:
+                # inside deterministic zones DYN101 already flags these
+                dotted = self._resolve(_dotted_name(node.func))
+                if isinstance(node.func, ast.Name):
+                    dotted = self.from_time.get(node.func.id, dotted)
+                if dotted in _OBS_TIME_CALLS:
+                    self._emit(node, "DYN601",
+                               f"`{dotted}()` is ad-hoc wallclock timing; "
+                               f"use the repro.sysmon timers (HrTimer/"
+                               f"ProcClock) or a dynscope span (repro.obs)")
         if self.row_zone:
             if (
                 isinstance(node.func, ast.Name)
@@ -358,6 +406,17 @@ def _in_row_membership_zone(path: pathlib.Path) -> bool:
     return any(part in ROW_MEMBERSHIP_ZONES for part in path.parts)
 
 
+def _in_instrumentation_zone(path: pathlib.Path) -> bool:
+    """Library code (under ``repro``) where DYN601 applies, minus the
+    sanctioned instrumentation homes and stdout-facing files."""
+    parts = path.parts
+    if OBS_ZONE not in parts:
+        return False
+    if any(part in OBS_EXEMPT_DIRS for part in parts):
+        return False
+    return path.name not in OBS_EXEMPT_FILES
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -365,10 +424,11 @@ def lint_source(
     deterministic_zone: bool = False,
     fault_injection_zone: bool = False,
     row_membership_zone: bool = False,
+    instrumentation_zone: bool = False,
 ) -> list[LintFinding]:
     """Lint python ``source``; ``deterministic_zone`` enables DYN101,
     ``fault_injection_zone`` enables DYN301, ``row_membership_zone``
-    enables DYN401."""
+    enables DYN401, ``instrumentation_zone`` enables DYN601."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -376,7 +436,8 @@ def lint_source(
                             "DYN000", f"syntax error: {exc.msg}")]
     linter = _Linter(path, source, deterministic_zone=deterministic_zone,
                      fault_injection_zone=fault_injection_zone,
-                     row_membership_zone=row_membership_zone)
+                     row_membership_zone=row_membership_zone,
+                     instrumentation_zone=instrumentation_zone)
     linter.visit(tree)
     return sorted(linter.findings, key=lambda f: (f.path, f.line, f.col))
 
@@ -388,6 +449,7 @@ def lint_file(path: pathlib.Path) -> list[LintFinding]:
         deterministic_zone=_in_deterministic_zone(path),
         fault_injection_zone=_in_fault_injection_zone(path),
         row_membership_zone=_in_row_membership_zone(path),
+        instrumentation_zone=_in_instrumentation_zone(path),
     )
 
 

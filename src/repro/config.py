@@ -120,12 +120,20 @@ class ClusterSpec:
     #: environment variable.  Keep it off for benchmarks — the hooks
     #: add per-message bookkeeping.
     sanitize: bool | None = None
+    #: dynscope observability (``repro.obs``): True/False force the
+    #: trace recorder on/off; None (the default) defers to the
+    #: ``DYNMPI_OBS`` environment variable.  Recording never adds
+    #: simulated cost, but the Python-side bookkeeping is real — keep
+    #: it off for wall-clock benchmarks.
+    observe: bool | None = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
             raise ConfigError(f"need at least one node, got {self.n_nodes}")
         if self.sanitize not in (None, True, False):
             raise ConfigError(f"sanitize must be True/False/None, got {self.sanitize!r}")
+        if self.observe not in (None, True, False):
+            raise ConfigError(f"observe must be True/False/None, got {self.observe!r}")
 
     def with_nodes(self, n_nodes: int) -> "ClusterSpec":
         return replace(self, n_nodes=n_nodes)

@@ -176,6 +176,8 @@ def redistribute(
 
     report = RedistReport()
     my_old = owned_intervals(old_bounds, me)
+    obs = ep.comm.obs
+    t0 = obs.now() if obs is not None else 0.0
 
     # -- build one packed block per destination -------------------------
     # interval algebra: each send set is two merge passes over a
@@ -204,8 +206,25 @@ def redistribute(
 
     snapshots = {name: arr.stats.snapshot() for name, arr in arrays.items()}
 
+    if obs is not None:
+        # packing spends no simulated time (a zero-duration span), but
+        # the per-edge byte counters are the data the cost report and
+        # trace diff lean on
+        obs.complete(
+            "redist.pack", t0, cat="redist", pid=ep.node_id, tid=ep.rank,
+            rows=report.rows_sent, nbytes=report.bytes_sent,
+        )
+        reg = obs.rank_registry(ep.rank)
+        for dst in range(n):
+            if blocks[dst] is not None:
+                reg.count("redist.edge_bytes", nbytes[dst],
+                          src=ep.rank, dst=group.world(dst))
+        reg.count("redist.rows_sent", report.rows_sent)
+        reg.count("redist.bytes_sent", report.bytes_sent)
+
     # -- the single exchange --------------------------------------------
     incoming = yield from alltoallv(ep, group, blocks, nbytes=nbytes)
+    t1 = obs.now() if obs is not None else 0.0
 
     # -- drop stale rows, install received rows, allocate the rest ------
     for name, arr in arrays.items():
@@ -228,4 +247,12 @@ def redistribute(
     report.mem_work = mem_work
     if mem_work > 0:
         yield Compute(mem_work)
+    if obs is not None:
+        obs.complete(
+            "redist.unpack", t1, cat="redist", pid=ep.node_id, tid=ep.rank,
+            rows=report.rows_received, mem_work=report.mem_work,
+        )
+        obs.rank_registry(ep.rank).count(
+            "redist.rows_received", report.rows_received
+        )
     return report

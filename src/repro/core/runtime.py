@@ -39,7 +39,6 @@ same property the real Dyn-MPI relies on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional, Sequence
 
 import numpy as np
@@ -50,6 +49,7 @@ from ..errors import CheckpointLostError, RegistrationError, SimulationError
 from ..mpi import Endpoint, Group, make_comm
 from ..mpi import collectives as coll
 from ..mpi.datatypes import SUM, ReduceOp
+from ..obs.recorder import JOB_PID, ObsRecorder, RuntimeEvent
 from ..resilience.checkpoint import (
     CheckpointStore,
     checkpoint_exchange,
@@ -76,16 +76,9 @@ _CTRL_TAG = (1 << 29) + 7   # control messages to removed ranks (send-out)
 _TOKEN_TAG = (1 << 29) + 8  # per-cycle token: active root -> removed ranks
 _LOAD_TAG = (1 << 29) + 9   # load updates: removed ranks -> active root
 
-
-@dataclass
-class RuntimeEvent:
-    """One adaptation event, for experiment reporting."""
-
-    kind: str  # "redistribute" | "drop" | "logical_drop" | "rejoin" | "crash_recovery"
-    cycle: int
-    time: float
-    duration: float = 0.0
-    detail: dict = field(default_factory=dict)
+# RuntimeEvent now lives in repro.obs.recorder (the adaptation events
+# are one view of the dynscope recording); re-exported here unchanged
+# for backward compatibility.
 
 
 class DynMPIJob:
@@ -114,7 +107,17 @@ class DynMPIJob:
                 cluster.spec.network, cluster.spec.node.speed
             )
         self.ref_speed = cluster.spec.node.speed
-        self.events: list[RuntimeEvent] = []
+        #: dynscope sink.  The cluster's enabled recorder when
+        #: observability is on; otherwise a disabled recorder whose
+        #: span/instant methods return immediately but whose
+        #: ``adaptations`` list is still populated — so ``job.events``
+        #: (a view of that list) behaves identically either way.
+        cobs = getattr(cluster, "obs", None)
+        self.obs: ObsRecorder = (
+            cobs if cobs is not None else ObsRecorder(enabled=False)
+        )
+        self.obs.bind_clock(lambda: cluster.sim.now)
+        self.events: list[RuntimeEvent] = self.obs.adaptations
         self.contexts: list["DynMPI"] = []
         self._groups: dict[tuple, Group] = {}
         self._launched = False
@@ -197,6 +200,9 @@ class DynMPI:
         self.loads: Optional[np.ndarray] = None
         self.row_weights: Optional[np.ndarray] = None  # seconds/iter, unloaded
         self.last_estimate_source = "none"
+        #: dynscope recorder, or None when observability is off (the
+        #: hot-path guard — one None test per instrumented site)
+        self.obs = getattr(job.cluster, "obs", None)
         self.proc = None
         self.proc_clock: Optional[ProcClock] = None
         self._committed = False
@@ -505,6 +511,7 @@ class DynMPI:
         if self.cycle % res.checkpoint_interval and not self._ckpt_due:
             return
         self._ckpt_due = False
+        t0 = self.obs.now() if self.obs is not None else 0.0
         ckpt = snapshot(
             self.arrays, self.bounds[self.rel_rank()],
             self.world_rank, self.cycle,
@@ -513,6 +520,12 @@ class DynMPI:
             self.ep, self.active_group, self._ckpt_store, ckpt,
             res.replication,
         )
+        if self.obs is not None:
+            self.obs.complete(
+                "ckpt.exchange", t0, cat="ckpt",
+                pid=self.node_id, tid=self.world_rank,
+                cycle=self.cycle, nbytes=ckpt.nbytes,
+            )
 
     def _suspect_failures(self) -> tuple:
         """(active rel 0 only) World ranks whose node is suspected dead
@@ -570,14 +583,20 @@ class DynMPI:
         }
         if active_dead:
             yield from self._recover_rows(old_group, active_dead, detail)
+        if self.obs is not None:
+            self.obs.complete(
+                "recover.crash", t0, cat="recover",
+                pid=self.node_id, tid=self.world_rank,
+                cycle=self.cycle, n_dead=len(dead),
+            )
         if self.rel_rank() == 0:
-            self.job.events.append(RuntimeEvent(
-                kind="crash_recovery",
+            self.job.obs.adaptation(
+                "crash_recovery",
                 cycle=self.cycle,
                 time=self.job.cluster.sim.now,
                 duration=self.job.hr.read() - t0,
                 detail=detail,
-            ))
+            )
 
     def _recover_rows(self, old_group: Group, active_dead: list,
                       detail: dict) -> Generator:
@@ -756,12 +775,12 @@ class DynMPI:
         for w in rejoining:
             self._removed_loads.pop(w, None)
         if was_rel0:
-            self.job.events.append(RuntimeEvent(
-                kind="rejoin",
+            self.job.obs.adaptation(
+                "rejoin",
                 cycle=self.cycle,
                 time=self.job.cluster.sim.now,
                 detail={"rejoined_world": list(rejoining)},
-            ))
+            )
 
     def _apply_rejoin(self, new_world, old_bounds, new_bounds) -> Generator:
         """(rejoining rank) Participate in the re-admission exchange."""
@@ -789,6 +808,12 @@ class DynMPI:
         self.mode = self.MODE_GRACE
         self._grace = {}
         self._grace_count = 0
+        if self.obs is not None and self.rel_rank() == 0:
+            self.obs.instant(
+                "adapt.grace_enter", cat="adapt", pid=JOB_PID, tid=0,
+                cycle=self.cycle,
+                loads=[] if self.loads is None else self.loads.tolist(),
+            )
 
     def end_cycle(self) -> Generator:
         if not self.active:
@@ -797,6 +822,12 @@ class DynMPI:
         cycle_time = now - self._cycle_t0
         self.cycle_times.append(cycle_time)
         self.cycle_stamps.append((self._cycle_t0, now))
+        if self.obs is not None:
+            self.obs.complete(
+                "cycle", self._cycle_t0, t1=now, cat="cycle",
+                pid=self.node_id, tid=self.world_rank,
+                cycle=self.cycle, mode=self.mode,
+            )
         if not self.job.adaptive:
             return
         if self.mode == self.MODE_GRACE:
@@ -858,6 +889,9 @@ class DynMPI:
             raise RegistrationError(
                 f"work_of_rows returned shape {works.shape}, expected {(e - s + 1,)}"
             )
+        obs = self.obs
+        n_rows = e - s + 1  # the grace branch rebinds ``rows`` below
+        t0 = obs.now() if obs is not None else 0.0
         if self.mode == self.MODE_GRACE and self.job.adaptive:
             key = (phase_id, s, e)
             rows = list(range(s, e + 1))
@@ -882,6 +916,12 @@ class DynMPI:
             yield Compute(float(works.sum()))
             if exec_rows is not None:
                 exec_rows(s, e)
+        if obs is not None:
+            obs.complete(
+                "compute", t0, cat="compute",
+                pid=self.node_id, tid=self.world_rank,
+                phase=phase_id, mode=self.mode, rows=n_rows,
+            )
 
     # ------------------------------------------------------------------
     # adaptation internals
@@ -950,8 +990,8 @@ class DynMPI:
         self._grace = {}
         self.n_redistributions += 1
         if self.rel_rank() == 0:
-            self.job.events.append(RuntimeEvent(
-                kind="redistribute",
+            self.job.obs.adaptation(
+                "redistribute",
                 cycle=self.cycle,
                 time=self.job.cluster.sim.now,
                 duration=self.job.hr.read() - t0,
@@ -961,9 +1001,10 @@ class DynMPI:
                     "source": self.last_estimate_source,
                     "rounds": result.rounds,
                 },
-            ))
+            )
 
     def _apply_bounds(self, new_bounds) -> Generator:
+        t0 = self.obs.now() if self.obs is not None else 0.0
         if self.job.cluster.sanitizer is not None:
             # dynsan self-check: verify the Section 4.4 invariants of
             # the derived plan before any row moves (raises PlanCheckError)
@@ -972,6 +1013,15 @@ class DynMPI:
             verify_transition(self.bounds, tuple(new_bounds), self.phases,
                               array_rows)
         needed = self._needed(new_bounds)
+        if self.obs is not None:
+            # plan derivation is pure computation (no simulated time):
+            # a zero-duration marker carrying the plan's span count
+            self.obs.complete(
+                "redist.plan", t0, t1=t0, cat="redist",
+                pid=self.node_id, tid=self.world_rank, cycle=self.cycle,
+                spans=sum(len(iv.spans) for per in needed
+                          for iv in per.values()),
+            )
         report = yield from redistribute(
             self.ep, self.active_group, self.bounds, new_bounds,
             self.arrays, needed, self.job.mem_model,
@@ -979,6 +1029,15 @@ class DynMPI:
         )
         self.bounds = tuple(new_bounds)
         self._ckpt_due = True  # stored replicas must match the new bounds
+        if self.obs is not None:
+            self.obs.complete(
+                "redist.apply", t0, cat="redist",
+                pid=self.node_id, tid=self.world_rank,
+                cycle=self.cycle,
+                rows_sent=report.rows_sent,
+                rows_received=report.rows_received,
+                bytes_sent=report.bytes_sent,
+            )
         return report
 
     def _consider_drop(self) -> Generator:
@@ -994,6 +1053,14 @@ class DynMPI:
             self.loop_size, measured_max, self.spec,
         )
         self.mode = self.MODE_NORMAL
+        if self.obs is not None and self.rel_rank() == 0:
+            self.obs.instant(
+                "adapt.drop_decision", cat="adapt", pid=JOB_PID, tid=0,
+                cycle=self.cycle,
+                predicted=decision.predicted_time,
+                measured=decision.measured_time,
+                drop=decision.drop,
+            )
         if not decision.drop:
             return
         if self.spec.drop_mode == "physical":
@@ -1021,8 +1088,8 @@ class DynMPI:
         self.loads = self.loads[kept]
         self.monitor.rebase(self.loads)
         if was_rel0:
-            self.job.events.append(RuntimeEvent(
-                kind="drop",
+            self.job.obs.adaptation(
+                "drop",
                 cycle=self.cycle,
                 time=self.job.cluster.sim.now,
                 detail={
@@ -1030,7 +1097,7 @@ class DynMPI:
                     "predicted": decision.predicted_time,
                     "measured": decision.measured_time,
                 },
-            ))
+            )
 
     def _logical_drop(self, decision) -> Generator:
         """Assign removed-candidate nodes a minimal number of rows so
@@ -1074,11 +1141,11 @@ class DynMPI:
                 lo += counts[r]
         yield from self._apply_bounds(tuple(bounds))
         if self.rel_rank() == 0:
-            self.job.events.append(RuntimeEvent(
-                kind="logical_drop",
+            self.job.obs.adaptation(
+                "logical_drop",
                 cycle=self.cycle,
                 time=self.job.cluster.sim.now,
                 detail={"removed_rel": removed,
                         "predicted": decision.predicted_time,
                         "measured": decision.measured_time},
-            ))
+            )

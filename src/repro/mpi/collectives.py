@@ -18,6 +18,7 @@ does (e.g. bcast is O(log n) rounds).
 
 from __future__ import annotations
 
+import functools
 from typing import Any, Generator, Optional, Sequence
 
 from ..errors import MPIError
@@ -45,6 +46,38 @@ def _check_member(ep: Endpoint, group: Group) -> int:
 
 
 
+def _traced(func):
+    """Record each call as a ``coll.<name>`` span on the member's own
+    track (dynscope).  With observability off the undecorated generator
+    is returned directly — zero extra frames on the hot path.  The span
+    covers the whole collective, so the point-to-point spans it drives
+    nest inside it; its args carry the fan-in (group size)."""
+    name = func.__name__
+
+    @functools.wraps(func)
+    def wrapper(ep: Endpoint, group: Group, *args, **kwargs):
+        gen = func(ep, group, *args, **kwargs)
+        obs = ep.comm.obs
+        if obs is None:
+            return gen
+        return _traced_drive(gen, obs, ep, group, name)
+
+    return wrapper
+
+
+def _traced_drive(gen, obs, ep: Endpoint, group: Group,
+                  name: str) -> Generator:
+    t0 = obs.now()
+    try:
+        result = yield from gen
+    finally:
+        obs.complete(
+            f"coll.{name}", t0, cat="coll", pid=ep.node_id, tid=ep.rank,
+            size=group.size,
+        )
+    return result
+
+
 def _san_enter(ep: Endpoint, group: Group, tag: int, name: str,
                root: Optional[int] = None) -> None:
     """Report a collective entry to the communication sanitizer (when
@@ -56,6 +89,7 @@ def _san_enter(ep: Endpoint, group: Group, tag: int, name: str,
                           group.size)
 
 
+@_traced
 def barrier(ep: Endpoint, group: Group) -> Generator:
     """Dissemination barrier: ceil(log2 n) rounds of tiny messages."""
     me = _check_member(ep, group)
@@ -70,6 +104,7 @@ def barrier(ep: Endpoint, group: Group) -> Generator:
         k *= 2
 
 
+@_traced
 def bcast(ep: Endpoint, group: Group, value: Any = None, root: int = 0) -> Generator:
     """Binomial-tree broadcast of ``value`` from relative rank ``root``.
 
@@ -97,6 +132,7 @@ def bcast(ep: Endpoint, group: Group, value: Any = None, root: int = 0) -> Gener
     return value
 
 
+@_traced
 def reduce(
     ep: Endpoint,
     group: Group,
@@ -128,6 +164,7 @@ def reduce(
     return acc
 
 
+@_traced
 def allreduce(ep: Endpoint, group: Group, value: Any, op: ReduceOp) -> Generator:
     """Reduce to relative rank 0, then broadcast the result."""
     acc = yield from reduce(ep, group, value, op, root=0)
@@ -135,6 +172,7 @@ def allreduce(ep: Endpoint, group: Group, value: Any, op: ReduceOp) -> Generator
     return result
 
 
+@_traced
 def gather(
     ep: Endpoint,
     group: Group,
@@ -158,6 +196,7 @@ def gather(
     return out
 
 
+@_traced
 def scatter(
     ep: Endpoint,
     group: Group,
@@ -180,6 +219,7 @@ def scatter(
     return payload
 
 
+@_traced
 def allgather(ep: Endpoint, group: Group, value: Any) -> Generator:
     """Ring allgather: n-1 steps, each member forwards the newest block.
 
@@ -205,6 +245,7 @@ def allgather(ep: Endpoint, group: Group, value: Any) -> Generator:
     return out
 
 
+@_traced
 def allgather_dissemination(ep: Endpoint, group: Group, value: Any) -> Generator:
     """Dissemination (Bruck-style) allgather: ceil(log2 n) rounds, each
     exchanging everything gathered so far with a partner at doubling
@@ -229,6 +270,7 @@ def allgather_dissemination(ep: Endpoint, group: Group, value: Any) -> Generator
     return [have[i] for i in range(n)]
 
 
+@_traced
 def alltoallv(
     ep: Endpoint,
     group: Group,

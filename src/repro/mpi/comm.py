@@ -36,12 +36,21 @@ import numpy as np
 from ..errors import MPIError, RankFailedError
 from ..simcluster import Cluster, Compute, ProcState, Signal, Wait
 from .datatypes import payload_nbytes
+from .group import COLL_TAG_BASE
 from .status import ANY_SOURCE, ANY_TAG, Status
 
 __all__ = ["SimComm", "Endpoint", "Request"]
 
 #: wire size of RTS/CTS control messages
 _CTRL_BYTES = 64
+
+
+def _obs_tag(tag: int) -> int:
+    """Tag value safe to record in a trace.  Tags below the collective
+    base are caller-chosen and stable; collective tags embed a
+    process-global group id, so they are masked to keep traces of
+    identical runs byte-reproducible."""
+    return tag if 0 <= tag < COLL_TAG_BASE else -1
 
 #: sentinel fired through signals touching a dead rank (resilience)
 _POISON = object()
@@ -142,6 +151,8 @@ class SimComm:
         self._dead: set[int] = set()
         # communication sanitizer (repro.analysis), or None when off
         self.san = getattr(cluster, "sanitizer", None)
+        # dynscope trace recorder (repro.obs), or None when off
+        self.obs = getattr(cluster, "obs", None)
 
     def endpoint(self, rank: int) -> "Endpoint":
         if not (0 <= rank < self.size):
@@ -258,12 +269,31 @@ class Endpoint:
         nbytes: Optional[int] = None,
     ) -> Generator:
         """Blocking send.  Eager below the threshold, rendezvous above."""
+        nbytes = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        obs = self.comm.obs
+        if obs is None:
+            yield from self._send(dest, tag, payload, nbytes)
+            return None
+        t0 = obs.now()
+        try:
+            yield from self._send(dest, tag, payload, nbytes)
+        finally:
+            obs.complete(
+                "mpi.send", t0, cat="mpi", pid=self.node_id, tid=self.rank,
+                dst=dest, nbytes=nbytes, tag=_obs_tag(tag),
+            )
+            reg = obs.rank_registry(self.rank)
+            reg.count("mpi.messages_sent", 1)
+            reg.count("mpi.bytes_sent", nbytes)
+            reg.observe("mpi.send_seconds", obs.now() - t0)
+        return None
+
+    def _send(self, dest: int, tag: int, payload: Any, nbytes: int) -> Generator:
         comm = self.comm
         if not (0 <= dest < comm.size):
             raise MPIError(f"send to invalid rank {dest}")
         if dest in comm._dead:
             raise RankFailedError(dest, "send to")
-        nbytes = payload_nbytes(payload) if nbytes is None else int(nbytes)
         payload = _detach(payload)
 
         env = _Envelope(self.rank, dest, tag, payload, nbytes)
@@ -314,6 +344,23 @@ class Endpoint:
         unnoticed for several competing quanta, exactly the ch_p4
         behavior behind the paper's node-removal results.
         """
+        obs = self.comm.obs
+        if obs is None:
+            result = yield from self._recv(source, tag)
+            return result
+        t0 = obs.now()
+        payload, status = yield from self._recv(source, tag)
+        obs.complete(
+            "mpi.recv", t0, cat="mpi", pid=self.node_id, tid=self.rank,
+            src=status.source, nbytes=status.nbytes, tag=_obs_tag(tag),
+        )
+        reg = obs.rank_registry(self.rank)
+        reg.count("mpi.messages_received", 1)
+        reg.count("mpi.bytes_received", status.nbytes)
+        reg.observe("mpi.recv_seconds", obs.now() - t0)
+        return payload, status
+
+    def _recv(self, source: int, tag: int) -> Generator:
         comm = self.comm
         san = comm.san
         if source != ANY_SOURCE and source in comm._dead:
@@ -420,6 +467,10 @@ class Endpoint:
         env.seq = next(comm._seq)
         if comm.san is not None:
             comm.san.on_send(env)
+        if comm.obs is not None:
+            reg = comm.obs.rank_registry(self.rank)
+            reg.count("mpi.messages_sent", 1)
+            reg.count("mpi.bytes_sent", nbytes)
 
         # The CPU cost of injecting is charged through a shadow compute
         # job on this rank's node: it contends for the CPU without

@@ -1,0 +1,164 @@
+"""Trace exporters: Chrome Trace Event JSON and flat JSONL.
+
+Both exporters are deterministic: events are emitted in ``(ts, seq)``
+order, every JSON object is dumped with sorted keys and fixed
+separators, and all timestamps are simulated time — so two identical
+seeded runs export byte-identical files (the tests assert this).
+
+Chrome format (one dict per event in ``traceEvents``):
+
+* ``ph="X"`` complete events carry ``ts`` + ``dur`` in *microseconds*
+  of simulated time (the Trace Event format's unit);
+* ``ph="i"`` instants carry ``s="t"`` (thread scope);
+* ``ph="M"`` metadata names the tracks: ``pid`` is a node (reserved
+  ``-1`` = job, ``-2`` = network), ``tid`` is a world rank (reserved
+  ``-1`` = replayed CPU slices).
+
+Load the file straight into https://ui.perfetto.dev or
+``chrome://tracing``.
+
+The JSONL export is the machine-readable twin: line 1 is a
+``trace-meta`` record (format version + merged metrics snapshot), then
+one event object per line with times in simulated *seconds*.  The CLI's
+``summarize``/``diff`` read either format back via :func:`load_trace`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+from .recorder import CPU_TID, JOB_PID, NET_PID, ObsRecorder
+
+__all__ = [
+    "chrome_trace",
+    "chrome_json",
+    "jsonl_text",
+    "load_trace",
+    "write_trace",
+]
+
+#: simulated seconds -> Trace Event microseconds
+_US = 1e6
+
+#: JSONL format version (bump on incompatible record changes)
+JSONL_VERSION = 1
+
+
+def _pid_name(pid: int) -> str:
+    if pid == JOB_PID:
+        return "job"
+    if pid == NET_PID:
+        return "network"
+    return f"node{pid}"
+
+
+def _tid_name(tid: int) -> str:
+    return "cpu" if tid == CPU_TID else f"rank{tid}"
+
+
+def _dump(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def chrome_trace(recorder: ObsRecorder) -> dict:
+    """The recording as a Chrome Trace Event dict (JSON-ready)."""
+    events: list[dict] = []
+    for pid, tids in recorder.tracks().items():
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "ts": 0, "args": {"name": _pid_name(pid)},
+        })
+        events.append({
+            "name": "process_sort_index", "ph": "M", "pid": pid, "tid": 0,
+            "ts": 0, "args": {"sort_index": pid},
+        })
+        for tid in tids:
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "ts": 0, "args": {"name": _tid_name(tid)},
+            })
+    for ev in recorder.sorted_events():
+        d = {
+            "name": ev.name, "cat": ev.cat, "ph": ev.ph,
+            "ts": ev.ts * _US, "pid": ev.pid, "tid": ev.tid,
+        }
+        if ev.ph == "X":
+            d["dur"] = ev.dur * _US
+        elif ev.ph == "i":
+            d["s"] = "t"
+        if ev.args:
+            d["args"] = ev.args
+        events.append(d)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_json(recorder: ObsRecorder) -> str:
+    return _dump(chrome_trace(recorder)) + "\n"
+
+
+def jsonl_text(recorder: ObsRecorder) -> str:
+    """The recording as JSONL: a ``trace-meta`` line (metrics snapshot
+    included) followed by one event per line, times in seconds."""
+    lines = [_dump({
+        "kind": "trace-meta",
+        "version": JSONL_VERSION,
+        "metrics": recorder.merged_registry().snapshot(),
+        "n_events": len(recorder.events),
+    })]
+    for ev in recorder.sorted_events():
+        lines.append(_dump(ev.to_dict()))
+    return "\n".join(lines) + "\n"
+
+
+def write_trace(recorder: ObsRecorder, path: Union[str, pathlib.Path],
+                fmt: str = "chrome") -> pathlib.Path:
+    """Write the recording to ``path`` in ``fmt`` ("chrome" or "jsonl")."""
+    path = pathlib.Path(path)
+    if fmt == "chrome":
+        text = chrome_json(recorder)
+    elif fmt == "jsonl":
+        text = jsonl_text(recorder)
+    else:
+        raise ValueError(f"unknown trace format {fmt!r}")
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def load_trace(path: Union[str, pathlib.Path]) -> tuple[dict, list[dict]]:
+    """Read a trace file back as ``(meta, events)`` with event times in
+    simulated seconds.  Accepts both export formats: a Chrome trace
+    (one JSON object with ``traceEvents``, metadata events dropped,
+    microseconds converted back) or the JSONL event log."""
+    text = pathlib.Path(path).read_text(encoding="utf-8")
+    stripped = text.lstrip()
+    if not stripped:
+        raise ValueError(f"{path}: empty trace file")
+    first = json.loads(stripped.splitlines()[0])
+    if isinstance(first, dict) and "traceEvents" in first:
+        trace = json.loads(text)
+        events = []
+        for d in trace["traceEvents"]:
+            if d.get("ph") == "M":
+                continue
+            ev = dict(d)
+            ev["ts"] = d.get("ts", 0) / _US
+            if "dur" in d:
+                ev["dur"] = d["dur"] / _US
+            ev.pop("s", None)
+            events.append(ev)
+        return {"kind": "trace-meta", "version": JSONL_VERSION,
+                "metrics": None, "n_events": len(events)}, events
+    meta: dict = {"kind": "trace-meta", "version": JSONL_VERSION,
+                  "metrics": None}
+    events = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        if obj.get("kind") == "trace-meta":
+            meta = obj
+        else:
+            events.append(obj)
+    return meta, events

@@ -1,0 +1,288 @@
+"""dynscope event recording: structured spans and instants.
+
+An :class:`ObsRecorder` is the single sink every layer emits into —
+the runtime's adaptation decisions, the redistribution data plane, the
+MPI layer's message latencies, the resilience layer's checkpoint tax.
+Events carry the *simulated* clock (``sim.now``), so a trace of a
+seeded run is bitwise reproducible and loads into Perfetto with the
+same timeline every time.
+
+Tracks follow the Chrome trace convention: ``pid`` is the node (with
+two reserved virtual processes, :data:`JOB_PID` for job-level
+adaptation events and :data:`NET_PID` for wire activity), ``tid`` is
+the world rank (with :data:`CPU_TID` reserved for replayed CPU
+slices — see :mod:`repro.obs.simadapter`).
+
+Zero overhead when disabled: layers hold ``cluster.obs`` which is
+``None`` unless observability was opted into, so hot paths pay one
+``is not None`` test.  The runtime additionally keeps a *disabled*
+recorder for its adaptation-event list (the ``job.events``
+back-compatibility view), whose span/instant methods return
+immediately.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .registry import MetricsRegistry
+
+__all__ = [
+    "CPU_TID",
+    "JOB_PID",
+    "NET_PID",
+    "ObsEvent",
+    "ObsRecorder",
+    "RuntimeEvent",
+    "obs_enabled",
+]
+
+#: virtual Chrome-trace process for job-level (rank-agnostic) events
+JOB_PID = -1
+#: virtual Chrome-trace process for network wire activity
+NET_PID = -2
+#: virtual thread for per-node CPU slices replayed from a Tracer
+CPU_TID = -1
+
+#: enabled recorders created this interpreter session (weakly held);
+#: the bench emitter summarizes them into every ``BENCH_*.json``
+_SESSION_RECORDERS: "weakref.WeakSet[ObsRecorder]" = weakref.WeakSet()
+
+
+def obs_enabled(spec: Any) -> bool:
+    """Resolve the opt-in: explicit ``spec.observe`` wins, the
+    ``DYNMPI_OBS`` environment variable fills in for ``None``."""
+    import os
+
+    explicit = getattr(spec, "observe", None)
+    if explicit is not None:
+        return bool(explicit)
+    return os.environ.get("DYNMPI_OBS", "0") not in ("", "0")
+
+
+@dataclass
+class RuntimeEvent:
+    """One adaptation event, for experiment reporting.
+
+    Historically defined in :mod:`repro.core.runtime`; it lives here
+    now because the obs event API is the primary emission path and the
+    job's ``events`` list is a view over the recorder's
+    :attr:`~ObsRecorder.adaptations`.  ``repro.core.runtime`` re-exports
+    it unchanged.
+    """
+
+    kind: str  # "redistribute" | "drop" | "logical_drop" | "rejoin" | "crash_recovery"
+    cycle: int
+    time: float
+    duration: float = 0.0
+    detail: dict = field(default_factory=dict)
+
+
+class ObsEvent:
+    """One trace event (Chrome Trace Event semantics).
+
+    ``ph`` is ``"X"`` (complete span: ``ts`` + ``dur``), ``"i"``
+    (instant) or ``"C"`` (counter sample).  Times are simulated
+    seconds; the exporters convert to microseconds.
+    """
+
+    __slots__ = ("name", "cat", "ph", "ts", "dur", "pid", "tid", "args", "seq")
+
+    def __init__(self, name: str, cat: str, ph: str, ts: float, dur: float,
+                 pid: int, tid: int, args: Optional[dict], seq: int):
+        self.name = name
+        self.cat = cat
+        self.ph = ph
+        self.ts = ts
+        self.dur = dur
+        self.pid = pid
+        self.tid = tid
+        self.args = args
+        self.seq = seq
+
+    def to_dict(self) -> dict:
+        d = {
+            "name": self.name, "cat": self.cat, "ph": self.ph,
+            "ts": self.ts, "pid": self.pid, "tid": self.tid,
+        }
+        if self.ph == "X":
+            d["dur"] = self.dur
+        if self.args:
+            d["args"] = self.args
+        return d
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ObsEvent {self.ph} {self.name} ts={self.ts:.6f} "
+                f"pid={self.pid} tid={self.tid}>")
+
+
+def _scalar(value: Any) -> Any:
+    """Coerce an args value to something JSON-stable (numpy scalars
+    and arrays would otherwise leak nondeterministic reprs)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    item = getattr(value, "item", None)
+    if item is not None and getattr(value, "shape", None) == ():
+        return item()
+    if isinstance(value, (list, tuple)):
+        return [_scalar(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _scalar(v) for k, v in value.items()}
+    tolist = getattr(value, "tolist", None)
+    if tolist is not None:
+        return tolist()
+    return str(value)
+
+
+class _Span:
+    """Context manager recording one complete ("X") event on exit."""
+
+    __slots__ = ("_rec", "_name", "_cat", "_pid", "_tid", "_args", "_t0")
+
+    def __init__(self, rec: "ObsRecorder", name: str, cat: str,
+                 pid: int, tid: int, args: Optional[dict]):
+        self._rec = rec
+        self._name = name
+        self._cat = cat
+        self._pid = pid
+        self._tid = tid
+        self._args = args
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = self._rec.now()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._rec.complete(self._name, self._t0, cat=self._cat,
+                           pid=self._pid, tid=self._tid,
+                           **(self._args or {}))
+
+
+class _NullSpan:
+    """Shared no-op span for disabled recorders."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class ObsRecorder:
+    """The event sink.  Bind a clock (``bind_clock``), emit spans and
+    instants, read back :attr:`events`; per-rank metric registries
+    merge into one view for reporting."""
+
+    def __init__(self, *, enabled: bool = True,
+                 clock: Optional[Callable[[], float]] = None):
+        self.enabled = enabled
+        self._clock = clock or (lambda: 0.0)
+        self.events: list[ObsEvent] = []
+        #: adaptation events (RuntimeEvent view) — recorded even when
+        #: disabled, preserving the historical ``job.events`` contract
+        self.adaptations: list[RuntimeEvent] = []
+        self._registries: dict[int, MetricsRegistry] = {}
+        self._seq = 0
+        if enabled:
+            _SESSION_RECORDERS.add(self)
+
+    # -- wiring ---------------------------------------------------------
+    def bind_clock(self, clock: Callable[[], float]) -> "ObsRecorder":
+        self._clock = clock
+        return self
+
+    def now(self) -> float:
+        return self._clock()
+
+    # -- emission -------------------------------------------------------
+    def _push(self, name: str, cat: str, ph: str, ts: float, dur: float,
+              pid: int, tid: int, args: dict) -> None:
+        self._seq += 1
+        clean = {k: _scalar(v) for k, v in args.items()} if args else None
+        self.events.append(
+            ObsEvent(name, cat, ph, ts, dur, pid, tid, clean, self._seq)
+        )
+
+    def span(self, name: str, *, cat: str = "app", pid: int = JOB_PID,
+             tid: int = 0, **args):
+        """``with obs.span("redistribute.pack", pid=n, tid=r, nbytes=b):``
+        — records a complete event covering the with-block (simulated
+        time elapses only across the yields inside it)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, cat, pid, tid, args or None)
+
+    def complete(self, name: str, t0: float, *, cat: str = "app",
+                 pid: int = JOB_PID, tid: int = 0,
+                 t1: Optional[float] = None, **args) -> None:
+        """Record a complete ("X") event from an explicit start time —
+        the try/finally-friendly form for generator code where a
+        ``with`` block cannot straddle early returns."""
+        if not self.enabled:
+            return
+        end = self.now() if t1 is None else t1
+        self._push(name, cat, "X", t0, max(0.0, end - t0), pid, tid, args)
+
+    def instant(self, name: str, *, cat: str = "app", pid: int = JOB_PID,
+                tid: int = 0, ts: Optional[float] = None, **args) -> None:
+        if not self.enabled:
+            return
+        self._push(name, cat, "i", self.now() if ts is None else ts,
+                   0.0, pid, tid, args)
+
+    def adaptation(self, kind: str, *, cycle: int, time: float,
+                   duration: float = 0.0,
+                   detail: Optional[dict] = None) -> RuntimeEvent:
+        """Record one runtime adaptation event.  Always appends to the
+        :attr:`adaptations` view (the ``job.events`` contract); when
+        enabled, additionally emits a span on the job track covering
+        ``[time - duration, time]``."""
+        ev = RuntimeEvent(kind=kind, cycle=cycle, time=time,
+                          duration=duration, detail=detail or {})
+        self.adaptations.append(ev)
+        if self.enabled:
+            self._push(f"adapt.{kind}", "adapt", "X", time - duration,
+                       duration, JOB_PID, 0,
+                       {"cycle": cycle, **(detail or {})})
+        return ev
+
+    # -- metrics --------------------------------------------------------
+    def rank_registry(self, rank: int) -> MetricsRegistry:
+        """The per-rank metrics registry (created on first use)."""
+        reg = self._registries.get(rank)
+        if reg is None:
+            reg = self._registries[rank] = MetricsRegistry()
+        return reg
+
+    def merged_registry(self) -> MetricsRegistry:
+        """All ranks' registries merged into one (rank order, so gauge
+        last-wins is deterministic)."""
+        merged = MetricsRegistry()
+        merged.merge(self._registries[r] for r in sorted(self._registries))
+        return merged
+
+    # -- reading --------------------------------------------------------
+    def sorted_events(self) -> list[ObsEvent]:
+        """Events in (timestamp, emission) order — the exporter order."""
+        return sorted(self.events, key=lambda e: (e.ts, e.seq))
+
+    def tracks(self) -> dict[int, list[int]]:
+        """pid -> sorted tids present in the recording."""
+        seen: dict[int, set[int]] = {}
+        for ev in self.events:
+            seen.setdefault(ev.pid, set()).add(ev.tid)
+        return {pid: sorted(tids) for pid, tids in sorted(seen.items())}
+
+
+def session_recorders() -> list[ObsRecorder]:
+    """Enabled recorders still alive in this interpreter session (the
+    bench emitter's source for BENCH_*.json obs summaries)."""
+    return sorted(_SESSION_RECORDERS, key=id)

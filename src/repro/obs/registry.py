@@ -1,0 +1,169 @@
+"""Metrics registry: counters, gauges and histograms (the scalar side
+of dynscope; spans and events live in :mod:`repro.obs.recorder`).
+
+Metrics are keyed by ``(name, labels)`` where labels are sorted
+``key=value`` pairs, so two ranks counting ``net.bytes`` with
+``src=0, dst=1`` and ``src=1, dst=0`` produce distinct, mergeable
+series — the per-edge byte accounting the redistribution layer emits.
+
+Everything here is deterministic: histogram buckets are binary
+exponents (``math.frexp``), snapshots sort every key, and merging is
+order-independent for counters and histograms (gauges keep the value
+with the newest sequence number, which is well defined because the
+simulator is single-threaded).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = ["Histogram", "MetricsRegistry"]
+
+MetricKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _key(name: str, labels: dict) -> MetricKey:
+    return (name, tuple(sorted((str(k), str(v)) for k, v in labels.items())))
+
+
+def _bucket(value: float) -> int:
+    """Deterministic bucket index: the binary exponent of the value
+    (``2**(b-1) <= value < 2**b``); 0 and negatives share a floor
+    bucket so pathological inputs cannot crash recording."""
+    if value <= 0.0:
+        return -1075  # below the smallest positive double's exponent
+    return math.frexp(value)[1]
+
+
+@dataclass
+class Histogram:
+    """Fixed-shape histogram over binary-exponent buckets."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+    #: binary exponent -> observation count
+    buckets: dict[int, int] = field(default_factory=dict)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        b = _bucket(value)
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        for b, n in other.buckets.items():
+            self.buckets[b] = self.buckets.get(b, 0) + n
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "buckets": {str(b): self.buckets[b] for b in sorted(self.buckets)},
+        }
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms with labels.
+
+    One registry per rank (or per recorder); :meth:`merge` folds the
+    per-rank registries into a job-wide view for reporting — the
+    "registry merge across ranks" step of the cost-attribution report.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[MetricKey, float] = {}
+        self.gauges: dict[MetricKey, tuple[int, float]] = {}  # (seq, value)
+        self.histograms: dict[MetricKey, Histogram] = {}
+        self._seq = 0
+
+    # -- recording ------------------------------------------------------
+    def count(self, name: str, amount: float = 1.0, **labels) -> None:
+        k = _key(name, labels)
+        self.counters[k] = self.counters.get(k, 0.0) + float(amount)
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        self._seq += 1
+        self.gauges[_key(name, labels)] = (self._seq, float(value))
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        k = _key(name, labels)
+        hist = self.histograms.get(k)
+        if hist is None:
+            hist = self.histograms[k] = Histogram()
+        hist.observe(value)
+
+    # -- reading --------------------------------------------------------
+    def counter_value(self, name: str, **labels) -> float:
+        return self.counters.get(_key(name, labels), 0.0)
+
+    def gauge_value(self, name: str, **labels) -> Optional[float]:
+        entry = self.gauges.get(_key(name, labels))
+        return None if entry is None else entry[1]
+
+    def histogram(self, name: str, **labels) -> Optional[Histogram]:
+        return self.histograms.get(_key(name, labels))
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter over every label combination."""
+        return sum(v for (n, _), v in self.counters.items() if n == name)
+
+    # -- merge / export -------------------------------------------------
+    def merge(self, others: Iterable["MetricsRegistry"]) -> "MetricsRegistry":
+        for other in others:
+            for k, v in other.counters.items():
+                self.counters[k] = self.counters.get(k, 0.0) + v
+            for k, (seq, v) in other.gauges.items():
+                mine = self.gauges.get(k)
+                if mine is None or seq >= mine[0]:
+                    self.gauges[k] = (seq, v)
+            for k, hist in other.histograms.items():
+                mine_h = self.histograms.get(k)
+                if mine_h is None:
+                    mine_h = self.histograms[k] = Histogram()
+                mine_h.merge(hist)
+        return self
+
+    @staticmethod
+    def _render_key(k: MetricKey) -> str:
+        name, labels = k
+        if not labels:
+            return name
+        inner = ",".join(f"{lk}={lv}" for lk, lv in labels)
+        return f"{name}{{{inner}}}"
+
+    def snapshot(self) -> dict:
+        """Deterministic JSON-able dump, keys sorted."""
+        return {
+            "counters": {
+                self._render_key(k): self.counters[k]
+                for k in sorted(self.counters)
+            },
+            "gauges": {
+                self._render_key(k): self.gauges[k][1]
+                for k in sorted(self.gauges)
+            },
+            "histograms": {
+                self._render_key(k): self.histograms[k].snapshot()
+                for k in sorted(self.histograms)
+            },
+        }

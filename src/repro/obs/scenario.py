@@ -1,0 +1,91 @@
+"""The canonical observed run: a small, fast Jacobi node-removal
+scenario (the Figure 6 recipe shrunk to smoke-test size).
+
+Four Ultra-Sparc nodes run Jacobi; competing processes land on node 0
+partway in, the runtime measures through a grace period, redistributes,
+and — under a forcing ``drop_margin`` — physically removes the loaded
+node after the post-redistribution window.  One short run therefore
+exercises every instrumented code path: cycles, grace-mode compute,
+halo traffic, collectives, redistribution, the drop decision with its
+predicted-vs-measured inputs, and (optionally) replayed CPU slices.
+
+The run is fully deterministic, so its exported traces are
+byte-identical across invocations — the property the CLI's ``export``
+and the CI obs-smoke job lean on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..apps.base import AppResult, run_program
+from ..apps.jacobi import JacobiConfig, jacobi_program
+from ..config import ResilienceSpec, RuntimeSpec, ultrasparc_cluster
+from ..simcluster import Cluster, single_competitor
+from ..simcluster.trace import Tracer
+from .simadapter import replay_tracer
+
+__all__ = ["RemovalScenario", "run_removal"]
+
+
+@dataclass(frozen=True)
+class RemovalScenario:
+    """Knobs of the canonical removal run (defaults are smoke-sized)."""
+
+    n_nodes: int = 4
+    n: int = 160          # grid size (n x n)
+    iters: int = 36       # phase cycles
+    seed: int = 0
+    load_cycle: int = 8   # cycle at which the competitors appear
+    n_cp: int = 2         # competing processes on node 0
+
+
+def run_removal(
+    scenario: RemovalScenario = RemovalScenario(),
+    *,
+    observe: Optional[bool] = True,
+    trace_cpu: bool = False,
+) -> tuple[AppResult, Cluster]:
+    """Run the canonical removal scenario; returns ``(result, cluster)``
+    with ``cluster.obs`` holding the recording when ``observe`` is on.
+
+    ``observe=None`` defers to ``DYNMPI_OBS`` (like every cluster);
+    ``trace_cpu`` additionally attaches a :class:`Tracer` and replays
+    its CPU slices and wire messages into the recording.
+    """
+    cspec = replace(
+        ultrasparc_cluster(scenario.n_nodes, seed=scenario.seed),
+        observe=observe,
+    )
+    cluster = Cluster(cspec)
+    tracer = Tracer(cluster).attach() if trace_cpu else None
+    # the Figure 6 forcing recipe: evaluate the drop branch as soon as
+    # the shortened post-redistribution window closes.  The daemon
+    # samples far below the paper's 1 Hz because a smoke-sized run's
+    # cycles are milliseconds (same adjustment as scaled_spec).
+    spec = RuntimeSpec(
+        allow_removal=True, drop_margin=1e-9, post_redist_period=5,
+        daemon_interval=0.002,
+        # sparse buddy checkpoints: enough to put the checkpoint tax in
+        # the trace without drowning the run in resilience traffic
+        resilience=ResilienceSpec(checkpoint_interval=6),
+    )
+    try:
+        result = run_program(
+            cluster,
+            jacobi_program,
+            JacobiConfig(n=scenario.n, iters=scenario.iters,
+                         materialized=False),
+            spec=spec,
+            adaptive=True,
+            load_script=single_competitor(
+                0, start_cycle=scenario.load_cycle, count=scenario.n_cp
+            ),
+        )
+    finally:
+        if tracer is not None:
+            tracer.detach()
+    if tracer is not None and cluster.obs is not None:
+        replay_tracer(tracer, cluster.obs)
+    return result, cluster

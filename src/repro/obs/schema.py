@@ -1,0 +1,116 @@
+"""Chrome Trace Event schema validation.
+
+:func:`validate_chrome` checks the structural contract Perfetto and
+``chrome://tracing`` rely on — required fields with the right types per
+phase (``ph``), non-negative times, and *well-formed nesting*: on any
+one ``(pid, tid)`` track, complete ("X") spans must be properly nested
+(a span either contains another or is disjoint from it; partial
+overlap means the emitting instrumentation lost track of a stack).
+
+Returns a list of error strings (empty = valid) rather than raising,
+so the CLI and the CI smoke job can print every problem at once.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+__all__ = ["validate_chrome", "validate_chrome_file"]
+
+#: phases this exporter may legitimately produce
+_KNOWN_PH = {"X", "i", "M", "B", "E", "C", "b", "e", "n"}
+
+#: nesting tolerance in microseconds (floating-point slack)
+_TOL = 1e-6
+
+
+def _check_event(i: int, ev: object, errors: list[str]) -> bool:
+    """Field/type checks for one event; True when usable for nesting."""
+    where = f"traceEvents[{i}]"
+    if not isinstance(ev, dict):
+        errors.append(f"{where}: not an object")
+        return False
+    name = ev.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append(f"{where}: missing/empty 'name'")
+        return False
+    where = f"{where} ({name})"
+    ph = ev.get("ph")
+    if ph not in _KNOWN_PH:
+        errors.append(f"{where}: bad 'ph' {ph!r}")
+        return False
+    for field in ("pid", "tid"):
+        v = ev.get(field)
+        if not isinstance(v, int) or isinstance(v, bool):
+            errors.append(f"{where}: '{field}' must be an integer, got {v!r}")
+            return False
+    ts = ev.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+        errors.append(f"{where}: 'ts' must be a number, got {ts!r}")
+        return False
+    if ts < 0:
+        errors.append(f"{where}: negative ts {ts}")
+        return False
+    if ph == "X":
+        dur = ev.get("dur")
+        if not isinstance(dur, (int, float)) or isinstance(dur, bool):
+            errors.append(f"{where}: 'X' event needs numeric 'dur'")
+            return False
+        if dur < 0:
+            errors.append(f"{where}: negative dur {dur}")
+            return False
+    if "args" in ev and not isinstance(ev["args"], dict):
+        errors.append(f"{where}: 'args' must be an object")
+        return False
+    return True
+
+
+def _check_nesting(trace_events: list[dict], errors: list[str]) -> None:
+    tracks: dict[tuple[int, int], list[dict]] = {}
+    for ev in trace_events:
+        if ev.get("ph") == "X":
+            tracks.setdefault((ev["pid"], ev["tid"]), []).append(ev)
+    for (pid, tid), spans in sorted(tracks.items()):
+        # same start: longer span first, so it becomes the parent
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack: list[dict] = []  # open ancestors, innermost last
+        for ev in spans:
+            ts, end = ev["ts"], ev["ts"] + ev["dur"]
+            while stack and stack[-1]["ts"] + stack[-1]["dur"] <= ts + _TOL:
+                stack.pop()
+            if stack:
+                top = stack[-1]
+                top_end = top["ts"] + top["dur"]
+                if end > top_end + _TOL:
+                    errors.append(
+                        f"track pid={pid} tid={tid}: span "
+                        f"'{ev['name']}' [{ts}, {end}] partially overlaps "
+                        f"'{top['name']}' [{top['ts']}, {top_end}]"
+                    )
+                    continue
+            stack.append(ev)
+
+
+def validate_chrome(trace: object) -> list[str]:
+    """Validate a parsed Chrome trace; returns error strings."""
+    errors: list[str] = []
+    if not isinstance(trace, dict):
+        return ["top level: expected an object with 'traceEvents'"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top level: 'traceEvents' must be a list"]
+    if not events:
+        errors.append("top level: empty 'traceEvents'")
+    usable = [ev for i, ev in enumerate(events) if _check_event(i, ev, errors)]
+    _check_nesting([ev for ev in usable if ev.get("ph") == "X"], errors)
+    return errors
+
+
+def validate_chrome_file(path: Union[str, pathlib.Path]) -> list[str]:
+    try:
+        trace = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable trace: {exc}"]
+    return validate_chrome(trace)

@@ -1,0 +1,63 @@
+"""Replay a :class:`repro.simcluster.Tracer` recording into an obs trace.
+
+The tracer hooks the scheduler and the network directly, so it sees
+things the instrumented layers cannot: every CPU slice (application
+ranks, competing processes, daemons) and every wire transmission.
+Replaying its records into the same :class:`~repro.obs.recorder.
+ObsRecorder` puts the old text timelines and the Chrome export on one
+recording:
+
+* each :class:`~repro.simcluster.trace.Slice` becomes a complete span
+  on the owning node's ``pid`` under the reserved ``tid`` :data:`~repro
+  .obs.recorder.CPU_TID` ("cpu" track), named after the process;
+* each :class:`~repro.simcluster.trace.Message` becomes a complete
+  span on the :data:`~repro.obs.recorder.NET_PID` ("network") process,
+  covering send -> delivery, with ``src``/``dst``/``nbytes`` in args.
+
+CPU slices of one node never overlap (the scheduler serializes them),
+but in-flight messages do — so messages are laid out on the network
+process in *lanes*: each message takes the lowest-numbered thread that
+is free for its whole flight.  Tracks stay properly nested (disjoint,
+in fact), which keeps the Chrome schema validator satisfied, and the
+lane assignment is a pure function of the (deterministic) message
+list.
+
+Replay after the run (the tracer's lists are append-only), then export
+as usual.
+"""
+
+from __future__ import annotations
+
+from .recorder import CPU_TID, NET_PID, ObsRecorder
+
+__all__ = ["replay_tracer"]
+
+
+def replay_tracer(tracer, recorder: ObsRecorder) -> int:
+    """Replay ``tracer``'s slices and messages into ``recorder``;
+    returns the number of events added."""
+    if not recorder.enabled:
+        return 0
+    added = 0
+    for s in tracer.slices:
+        recorder.complete(
+            f"cpu.{s.proc}", s.start, t1=s.end, cat="sim",
+            pid=s.node, tid=CPU_TID, proc=s.proc,
+        )
+        added += 1
+    lanes: list[float] = []  # lane index -> end of its last message
+    for m in sorted(tracer.messages,
+                    key=lambda m: (m.sent, m.delivered, m.src, m.dst)):
+        for lane, busy_until in enumerate(lanes):
+            if busy_until <= m.sent:
+                break
+        else:
+            lane = len(lanes)
+            lanes.append(0.0)
+        lanes[lane] = m.delivered
+        recorder.complete(
+            "net.msg", m.sent, t1=m.delivered, cat="sim",
+            pid=NET_PID, tid=lane, src=m.src, dst=m.dst, nbytes=m.nbytes,
+        )
+        added += 1
+    return added

@@ -148,6 +148,11 @@ def checkpoint_exchange(ep, group, store: CheckpointStore,
     """
     me = group.rel(ep.rank)
     n = group.size
+    obs = getattr(ep.comm, "obs", None)
+    if obs is not None:
+        reg = obs.rank_registry(ep.rank)
+        reg.count("ckpt.snapshots", 1)
+        reg.count("ckpt.bytes", ckpt.nbytes)
     if n == 1:
         store.put(ckpt)  # degenerate ring: self-replica
         return 1
@@ -161,4 +166,7 @@ def checkpoint_exchange(ep, group, store: CheckpointStore,
         )
         store.put(incoming)
         received += 1
+    if obs is not None:
+        reg.count("ckpt.replicas_received", received)
+        reg.gauge("ckpt.held_bytes", store.held_nbytes)
     return received

@@ -11,6 +11,7 @@ from typing import Optional
 
 from ..analysis.sanitizer import CommSanitizer, sanitizer_enabled
 from ..config import ClusterSpec
+from ..obs.recorder import ObsRecorder, obs_enabled
 from ..resilience.board import FailureBoard
 from .kernel import SimProcess, Simulator
 from .network import Network
@@ -45,6 +46,11 @@ class Cluster:
         if sanitizer_enabled(spec):
             self.sanitizer = CommSanitizer()
             self.sim.add_watchdog(self.sanitizer.kernel_block_hook)
+        #: dynscope trace recorder (``repro.obs``), or None when off —
+        #: instrumented layers guard every hook with one None test
+        self.obs: Optional[ObsRecorder] = None
+        if obs_enabled(spec):
+            self.obs = ObsRecorder(clock=lambda: self.sim.now)
 
     @property
     def n_nodes(self) -> int:

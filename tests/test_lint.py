@@ -279,6 +279,81 @@ def test_dyn401_zone_and_reference_exemption(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# DYN601: ad-hoc instrumentation in library code
+# ----------------------------------------------------------------------
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures" / "lint"
+
+
+def test_dyn601_fixture_findings():
+    src = (FIXTURES / "instrumented_module.py").read_text()
+    findings = lint_source(src, "instrumented_module.py",
+                           instrumentation_zone=True)
+    assert codes(findings) == ["DYN601"] * 3
+    messages = [f.message for f in findings]
+    assert "print" in messages[0]
+    assert "time.perf_counter" in messages[1]
+    assert "time.time" in messages[2]          # via the from-import alias
+    # the same file is clean outside the zone (that is why it may sit
+    # under tests/ without tripping the CI lint gate)
+    assert lint_source(src, "instrumented_module.py") == []
+
+
+def test_dyn601_suppressible():
+    findings = lint_source(textwrap.dedent("""
+        import time
+        t0 = time.monotonic()  # dynsan: ok
+        print("progress")  # dynsan: ok
+    """), instrumentation_zone=True)
+    assert findings == []
+
+
+def test_dyn601_time_family_defers_to_dyn101_in_deterministic_zone():
+    code = textwrap.dedent("""
+        import time
+        def stamp():
+            return time.time()
+    """)
+    both = lint_source(code, deterministic_zone=True,
+                       instrumentation_zone=True)
+    assert codes(both) == ["DYN101"]  # no double report
+    # print stays DYN601 even inside a deterministic zone
+    noisy = lint_source("print('hi')\n", deterministic_zone=True,
+                        instrumentation_zone=True)
+    assert codes(noisy) == ["DYN601"]
+
+
+def test_dyn601_sleep_and_fstrings_not_flagged():
+    findings = lint_source(textwrap.dedent("""
+        import time
+        def pace():
+            time.sleep(0.1)
+            return f"n={1 + 1}"
+    """), instrumentation_zone=True)
+    assert findings == []
+
+
+def test_dyn601_zone_detected_from_path(tmp_path):
+    code = "print('chatty library')\n"
+    cases = {
+        "repro/core/mod.py": True,
+        "repro/apps/jacobi.py": True,
+        "repro/obs/recorder.py": False,       # instrumentation home
+        "repro/sysmon/timers.py": False,      # instrumentation home
+        "repro/analysis/flow/driver.py": False,  # dynflow budget is wallclock
+        "repro/obs/__main__.py": False,       # CLI entry point
+        "repro/experiments/report.py": False,  # report formatter
+        "benchmarks/bench_fig4.py": False,    # not under repro
+    }
+    for rel, expect in cases.items():
+        f = tmp_path / rel
+        f.parent.mkdir(parents=True, exist_ok=True)
+        f.write_text(code)
+        found = codes(lint_file(f))
+        assert found == (["DYN601"] if expect else []), rel
+
+
+# ----------------------------------------------------------------------
 # suppression + syntax errors
 # ----------------------------------------------------------------------
 
