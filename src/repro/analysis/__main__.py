@@ -5,6 +5,8 @@ Usage::
     python -m repro.analysis lint src/ [more paths...] [--json]
     python -m repro.analysis plan spec.json [--quiet]
     python -m repro.analysis flow src/repro examples [--json]
+    python -m repro.analysis race src/repro examples [--json]
+    python -m repro.analysis perturb --seeds 1,2,3 [--target removal]
 
 ``lint`` walks the given files/trees and prints one line per finding
 (``path:line:col: CODE message``), exiting 1 if any remain — the CI
@@ -14,8 +16,28 @@ correctness gate.
 (collective matching, rank-divergence detection, static ownership
 checking — DYN5xx codes; see :mod:`repro.analysis.flow`).
 
-All subcommands share the exit-code contract: 0 clean, 1 findings,
-2 usage or internal error.
+``race`` runs dynrace, the message-race and determinism analyzer
+(happens-before wildcard-race detection plus AST determinism rules —
+DYN7xx codes; see :mod:`repro.analysis.race`).  ``perturb`` is its
+dynamic cross-check: it re-runs a traced scenario under
+``DYNMPI_PERTURB`` seeds and byte-compares the exports; by default it
+*expects* schedule invariance (exit 0 when every seed reproduces the
+unperturbed trace), and with ``--expect-diff`` it expects a race to
+show up as a trace diff.
+
+Every subcommand follows one exit-code contract, and ``lint``,
+``flow``, and ``race`` share the same baseline-file mechanics
+(``--baseline`` to carry known findings, ``--write-baseline`` to
+snapshot them; see :mod:`repro.analysis.baseline`):
+
+=====  =============================================================
+exit   meaning
+=====  =============================================================
+0      clean — no findings (for ``perturb``: expectation met)
+1      findings remain / violations found / expectation not met
+2      usage or internal error (unreadable input, malformed spec,
+       blown ``--max-seconds`` budget)
+=====  =============================================================
 
 ``plan`` statically verifies a redistribution plan from a JSON spec::
 
@@ -123,21 +145,33 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    from .baseline import load_baseline, save_baseline
+
     try:
         findings = lint_paths(args.paths)
     except OSError as exc:
         print(f"lint: cannot read {exc.filename}: {exc.strerror}",
               file=sys.stderr)
         return 2
+    if args.write_baseline:
+        save_baseline(args.write_baseline, findings, tool="dynsan-lint")
+    suppressed = 0
+    if args.baseline:
+        known = load_baseline(args.baseline)
+        kept = [f for f in findings if f.fingerprint not in known]
+        suppressed = len(findings) - len(kept)
+        findings = kept
     if args.json:
         print(json.dumps(
             {
                 "tool": "dynsan-lint",
                 "count": len(findings),
+                "suppressed": suppressed,
                 "findings": [
                     {
                         "path": f.path, "line": f.line, "col": f.col,
                         "code": f.code, "message": f.message,
+                        "fingerprint": f.fingerprint,
                     }
                     for f in findings
                 ],
@@ -148,10 +182,15 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     for f in findings:
         print(f)
     if findings:
-        print(f"lint: {len(findings)} finding(s)", file=sys.stderr)
+        print(
+            f"lint: {len(findings)} finding(s)"
+            + (f", {suppressed} baselined" if suppressed else ""),
+            file=sys.stderr,
+        )
         return 1
     if not args.quiet:
-        print("lint: clean")
+        print("lint: clean"
+              + (f" ({suppressed} baselined)" if suppressed else ""))
     return 0
 
 
@@ -168,6 +207,44 @@ def _cmd_flow(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_race(args: argparse.Namespace) -> int:
+    from .race import run_race
+
+    return run_race(
+        args.paths,
+        json_out=args.json,
+        quiet=args.quiet,
+        baseline=args.baseline,
+        write_baseline=args.write_baseline,
+        max_seconds=args.max_seconds,
+    )
+
+
+def _cmd_perturb(args: argparse.Namespace) -> int:
+    from .race import run_perturbed
+
+    try:
+        seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    except ValueError:
+        print(f"perturb: --seeds must be comma-separated integers, "
+              f"got {args.seeds!r}", file=sys.stderr)
+        return 2
+    if not seeds:
+        print("perturb: --seeds is empty", file=sys.stderr)
+        return 2
+    try:
+        report = run_perturbed(args.target, seeds)
+    except Exception as exc:
+        print(f"perturb: internal error: {exc!r}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render())
+    met = report.invariant != args.expect_diff
+    return 0 if met else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
@@ -180,6 +257,10 @@ def main(argv=None) -> int:
     p_lint.add_argument("--quiet", action="store_true")
     p_lint.add_argument("--json", action="store_true",
                         help="machine-readable findings on stdout")
+    p_lint.add_argument("--baseline", metavar="FILE", default=None,
+                        help="suppress findings whose fingerprint is in FILE")
+    p_lint.add_argument("--write-baseline", metavar="FILE", default=None,
+                        help="write current findings to FILE and continue")
     p_lint.set_defaults(fn=_cmd_lint)
 
     p_plan = sub.add_parser("plan", help="verify a redistribution plan")
@@ -201,6 +282,36 @@ def main(argv=None) -> int:
     p_flow.add_argument("--max-seconds", type=float, default=None,
                         help="fail (exit 2) if analysis exceeds this budget")
     p_flow.set_defaults(fn=_cmd_flow)
+
+    p_race = sub.add_parser(
+        "race", help="dynrace message-race and determinism analysis"
+    )
+    p_race.add_argument("paths", nargs="+", help="files or directories")
+    p_race.add_argument("--quiet", action="store_true")
+    p_race.add_argument("--json", action="store_true",
+                        help="machine-readable findings on stdout")
+    p_race.add_argument("--baseline", metavar="FILE", default=None,
+                        help="suppress findings whose fingerprint is in FILE")
+    p_race.add_argument("--write-baseline", metavar="FILE", default=None,
+                        help="write current findings to FILE and continue")
+    p_race.add_argument("--max-seconds", type=float, default=None,
+                        help="fail (exit 2) if analysis exceeds this budget")
+    p_race.set_defaults(fn=_cmd_race)
+
+    p_pert = sub.add_parser(
+        "perturb", help="schedule-perturbation determinism cross-check"
+    )
+    p_pert.add_argument("--target", default="removal",
+                        help="'removal' (canonical scenario) or a path to a "
+                             "Python file defining run_traced() -> str")
+    p_pert.add_argument("--seeds", default="1,2,3",
+                        help="comma-separated DYNMPI_PERTURB seeds")
+    p_pert.add_argument("--expect-diff", action="store_true",
+                        help="invert the expectation: exit 0 only if some "
+                             "seed changes the trace (race demonstration)")
+    p_pert.add_argument("--json", action="store_true",
+                        help="machine-readable report on stdout")
+    p_pert.set_defaults(fn=_cmd_perturb)
 
     args = parser.parse_args(argv)
     return args.fn(args)

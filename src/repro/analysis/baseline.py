@@ -1,0 +1,46 @@
+"""Shared finding-baseline files for the analysis CLIs.
+
+Every analyzer (``lint``, ``flow``, ``race``) exposes the same
+``--baseline FILE`` / ``--write-baseline FILE`` pair: a baseline is a
+JSON snapshot of finding *fingerprints* — line-independent stable ids
+— so known findings can be carried while new ones still fail the
+gate.  Any finding object with ``fingerprint``/``code``/``path`` and
+``message`` attributes works; ``function`` is optional (lint findings
+have none).
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["load_baseline", "save_baseline"]
+
+
+def load_baseline(path) -> set:
+    """Read a baseline file; returns the set of suppressed
+    fingerprints (empty for a missing file)."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        return set()
+    return {str(e["fingerprint"]) for e in data.get("findings", [])}
+
+
+def save_baseline(path, findings, *, tool: str = "dynflow") -> None:
+    data = {
+        "tool": tool,
+        "findings": [
+            {
+                "fingerprint": f.fingerprint,
+                "code": f.code,
+                "path": f.path,
+                "function": getattr(f, "function", ""),
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -36,9 +36,13 @@ edits to the same file.
 from __future__ import annotations
 
 import hashlib
-import json
 from dataclasses import dataclass, field
 from typing import Optional
+
+# baseline files are shared analyzer-wide (repro.analysis.baseline);
+# re-exported here so the historical ``flow.report`` import path keeps
+# working
+from ..baseline import load_baseline, save_baseline  # noqa: F401
 
 __all__ = [
     "CODES",
@@ -50,13 +54,21 @@ __all__ = [
     "findings_to_json",
 ]
 
-#: one-line summaries, used by ``--json`` output and the docs table
+#: one-line summaries, used by ``--json`` output and the docs table.
+#: dynrace (``repro.analysis.race``) reports through the same
+#: :class:`FlowFinding` type, so its DYN7xx codes live here too.
 CODES = {
     "DYN501": "collective sequence diverges on a rank-dependent branch",
     "DYN502": "rank-dependent loop bound around a collective",
     "DYN503": "send-in reachable on a removed (non-participating) path",
     "DYN504": "array access outside the owned+halo region",
     "DYN505": "collective signature mismatch across a rank-dependent branch",
+    "DYN701": "wildcard receive matchable by concurrent sends from "
+              "several sources",
+    "DYN702": "schedule-dependent branch changes subsequent communication",
+    "DYN703": "unordered set iteration feeds message/event ordering",
+    "DYN704": "RNG outside the seeded StreamRegistry home",
+    "DYN705": "float accumulation order depends on set iteration",
 }
 
 SUPPRESS_MARK = "dynflow: ok"
@@ -148,34 +160,6 @@ class FlowFinding:
         return d
 
 
-def load_baseline(path) -> set:
-    """Read a baseline file; returns the set of suppressed
-    fingerprints (empty for a missing file)."""
-    try:
-        with open(path, encoding="utf-8") as fh:
-            data = json.load(fh)
-    except FileNotFoundError:
-        return set()
-    return {str(e["fingerprint"]) for e in data.get("findings", [])}
-
-
-def save_baseline(path, findings) -> None:
-    data = {
-        "tool": "dynflow",
-        "findings": [
-            {
-                "fingerprint": f.fingerprint,
-                "code": f.code,
-                "path": f.path,
-                "function": f.function,
-                "message": f.message,
-            }
-            for f in findings
-        ],
-    }
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(data, fh, indent=2, sort_keys=True)
-        fh.write("\n")
 
 
 def render_findings(findings) -> str:

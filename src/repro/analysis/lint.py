@@ -45,16 +45,41 @@ DYN601   ad-hoc instrumentation in library code (under ``repro``):
 Suppress a finding by putting ``# dynsan: ok`` on the offending line.
 Run as ``python -m repro.analysis lint <paths...>``; exits non-zero
 when findings remain, which is the CI gate.
+
+This module also hosts dynrace's determinism AST rules — they run
+under the ``race`` subcommand (:mod:`repro.analysis.race`), not the
+plain lint gate, and are suppressed with ``# dynrace: ok`` instead:
+
+=======  ==========================================================
+code     meaning
+=======  ==========================================================
+DYN703   iteration over an unordered ``set``/``frozenset`` whose
+         body emits messages or trace events — emission *order*
+         then depends on hash seeding, not the program
+DYN704   RNG outside the sanctioned home
+         (``simcluster/rng.py``'s seeded StreamRegistry): the
+         ``random`` module, any ``numpy.random`` draw, or
+         constructing generators ad hoc — even seeded ones
+         fragment the reproducibility story
+DYN705   float accumulation (``+=`` / ``sum(...)``) over set
+         iteration — floating-point addition does not commute
+         with reordering, so the result varies run to run
+=======  ==========================================================
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import pathlib
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
-__all__ = ["LintFinding", "lint_source", "lint_file", "lint_paths"]
+__all__ = [
+    "LintFinding",
+    "lint_source", "lint_file", "lint_paths",
+    "race_lint_source", "race_lint_file", "race_lint_paths",
+]
 
 #: endpoint/runtime methods that return generators and must be driven
 GENERATOR_METHODS = frozenset({
@@ -91,9 +116,10 @@ ROW_MEMBERSHIP_EXEMPT_FILES = ("reference.py",)
 
 #: library zone where DYN601 (ad-hoc instrumentation) applies
 OBS_ZONE = "repro"
-#: sanctioned instrumentation homes — plus the dynflow driver, whose
-#: wall-clock analysis budget (``--max-seconds``) is the feature
-OBS_EXEMPT_DIRS = ("sysmon", "obs", "flow")
+#: sanctioned instrumentation homes — plus the dynflow and dynrace
+#: drivers, whose wall-clock analysis budgets (``--max-seconds``) and
+#: stdout reports are the feature
+OBS_EXEMPT_DIRS = ("sysmon", "obs", "flow", "race")
 #: CLI entry points and report formatters exist to write to stdout
 OBS_EXEMPT_FILES = ("__main__.py", "report.py")
 
@@ -132,6 +158,14 @@ class LintFinding:
 
     def __str__(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable id for baseline files (repro.analysis.baseline):
+        excludes the line number so a baseline entry survives
+        unrelated edits to the same file."""
+        raw = f"{self.code}|{self.path}|{self.message}"
+        return hashlib.sha1(raw.encode()).hexdigest()[:16]
 
 
 def _dotted_name(node: ast.AST) -> Optional[str]:
@@ -465,4 +499,259 @@ def lint_paths(paths: Iterable[str | pathlib.Path]) -> list[LintFinding]:
             files = [p]
         for f in files:
             findings.extend(lint_file(f))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# dynrace determinism rules (DYN703/704/705)
+# ---------------------------------------------------------------------------
+
+#: suppression marker for the race rules — distinct from dynsan's so a
+#: line can be fine for one tool and a finding for the other
+RACE_SUPPRESS_MARK = "dynrace: ok"
+
+#: calls whose *relative order* is observable in the exported trace:
+#: message emission (endpoint/collective generators plus the nonblocking
+#: pair) and dynscope event recording
+_ORDER_SINKS = GENERATOR_METHODS | GENERATOR_FUNCS | {
+    "isend", "irecv", "instant", "complete", "count", "observe",
+}
+
+#: the one sanctioned RNG construction site (seeded StreamRegistry)
+RNG_HOME = ("simcluster", "rng.py")
+
+
+class _RaceLinter(ast.NodeVisitor):
+    """AST determinism rules for dynrace.
+
+    Unlike :class:`_Linter` there is no zone gating: these rules apply
+    to every path handed to the ``race`` subcommand.  Set-typedness is
+    inferred syntactically — literals, comprehensions, ``set()`` /
+    ``frozenset()`` calls, set-operator expressions over those, and
+    local names assigned from them.  ``sorted(...)`` launders: iterating
+    a sorted set is deterministic.  Dict iteration is *not* flagged —
+    Python dicts preserve insertion order, which the program controls.
+    """
+
+    def __init__(self, path: str, source: str, *, rng_home: bool = False):
+        self.path = path
+        self.lines = source.splitlines()
+        self.rng_home = rng_home
+        self.findings: list[LintFinding] = []
+        self.aliases: dict[str, str] = {}
+        self.from_random: set[str] = set()
+        #: stack of per-scope {name: is-set-typed} maps
+        self._set_vars: list[dict[str, bool]] = [{}]
+
+    # -- plumbing -------------------------------------------------------
+    def _suppressed(self, node: ast.AST) -> bool:
+        line = getattr(node, "lineno", 0)
+        if 1 <= line <= len(self.lines):
+            return RACE_SUPPRESS_MARK in self.lines[line - 1]
+        return False
+
+    def _emit(self, node: ast.AST, code: str, message: str) -> None:
+        if not self._suppressed(node):
+            self.findings.append(LintFinding(
+                self.path, node.lineno, node.col_offset, code, message
+            ))
+
+    def _resolve(self, dotted: Optional[str]) -> Optional[str]:
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        real = self.aliases.get(head, head)
+        return f"{real}.{rest}" if rest else real
+
+    # -- scopes ---------------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._set_vars.append({})
+        self.generic_visit(node)
+        self._set_vars.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    # -- set-typedness inference ----------------------------------------
+    def _is_setty(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in ("set", "frozenset"):
+                    return True
+                if func.id == "sorted":
+                    return False
+            if isinstance(func, ast.Attribute):
+                # s.union(t), s.difference(t), ... keep set-typedness
+                if func.attr in ("union", "intersection", "difference",
+                                 "symmetric_difference", "copy"):
+                    return self._is_setty(func.value)
+            return False
+        if isinstance(node, ast.Name):
+            for scope in reversed(self._set_vars):
+                if node.id in scope:
+                    return scope[node.id]
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self._is_setty(node.left) or self._is_setty(node.right)
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        setty = self._is_setty(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self._set_vars[-1][target.id] = setty
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and isinstance(node.target, ast.Name):
+            self._set_vars[-1][node.target.id] = self._is_setty(node.value)
+        self.generic_visit(node)
+
+    # -- imports (alias tracking + DYN704 on the import itself) ---------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            top = alias.name.split(".")[0]
+            self.aliases[alias.asname or top] = top
+            if top == "random":
+                self._emit(node, "DYN704",
+                           "the `random` module is process-global mutable "
+                           "state; draw from the cluster's seeded "
+                           "StreamRegistry (simcluster/rng.py) instead")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.module.split(".")[0] == "random":
+            self._emit(node, "DYN704",
+                       "importing from `random` pulls in process-global "
+                       "RNG state; use the seeded StreamRegistry "
+                       "(simcluster/rng.py) instead")
+            self.from_random.update(a.asname or a.name for a in node.names)
+        self.generic_visit(node)
+
+    # -- DYN703 / DYN705: set-ordered loops -----------------------------
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_setty(node.iter):
+            self._classify_set_loop(node)
+        self.generic_visit(node)
+
+    def _classify_set_loop(self, node: ast.For) -> None:
+        emits: Optional[ast.AST] = None
+        accumulates: Optional[ast.AugAssign] = None
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                if emits is None and isinstance(sub, ast.Call):
+                    func = sub.func
+                    name = (func.attr if isinstance(func, ast.Attribute)
+                            else func.id if isinstance(func, ast.Name)
+                            else None)
+                    if name in _ORDER_SINKS:
+                        emits = sub
+                if accumulates is None and isinstance(sub, ast.AugAssign):
+                    if isinstance(sub.op, (ast.Add, ast.Sub, ast.Mult)):
+                        accumulates = sub
+        if emits is not None:
+            self._emit(node, "DYN703",
+                       "loop over an unordered set emits messages/trace "
+                       "events — emission order then depends on hash "
+                       "seeding, not the program; iterate "
+                       "`sorted(...)` instead")
+        if accumulates is not None:
+            self._emit(accumulates, "DYN705",
+                       "accumulation inside a loop over an unordered set: "
+                       "float addition does not commute with reordering, "
+                       "so the total depends on hash seeding; iterate "
+                       "`sorted(...)` or use math.fsum over a sorted view")
+
+    # -- calls: DYN704 + sum() over a set (DYN705) ----------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self._resolve(_dotted_name(node.func))
+        if dotted is not None and dotted.startswith("random."):
+            self._emit(node, "DYN704",
+                       f"`{dotted}()` draws from the process-global random "
+                       f"state; use the seeded StreamRegistry "
+                       f"(simcluster/rng.py)")
+        elif dotted is not None and dotted.startswith("numpy.random."):
+            attr = dotted.split(".", 2)[2]
+            if attr not in _NP_RANDOM_ALLOWED:
+                self._emit(node, "DYN704",
+                           f"`{dotted}()` draws from numpy's global random "
+                           f"state; take a stream from the seeded "
+                           f"StreamRegistry (simcluster/rng.py)")
+            elif attr == "default_rng" and not node.args and not node.keywords:
+                self._emit(node, "DYN704",
+                           "`default_rng()` without a seed is entropy-"
+                           "seeded — irreproducible by construction; take "
+                           "a stream from the seeded StreamRegistry")
+            elif not self.rng_home:
+                self._emit(node, "DYN704",
+                           f"`{dotted}(...)` constructs an ad-hoc generator "
+                           f"outside the sanctioned home "
+                           f"(simcluster/rng.py); even seeded, it "
+                           f"fragments the run's single seed tree — take "
+                           f"a stream from the StreamRegistry")
+        if isinstance(node.func, ast.Name):
+            if node.func.id in self.from_random:
+                self._emit(node, "DYN704",
+                           f"`{node.func.id}()` (from random) draws from "
+                           f"the process-global random state; use the "
+                           f"seeded StreamRegistry")
+            elif node.func.id in ("sum", "fsum") and node.args:
+                arg = node.args[0]
+                if self._is_setty(arg) or (
+                    isinstance(arg, (ast.GeneratorExp, ast.ListComp))
+                    and any(self._is_setty(g.iter) for g in arg.generators)
+                ):
+                    self._emit(node, "DYN705",
+                               "summation over an unordered set: float "
+                               "addition does not commute with reordering, "
+                               "so the result depends on hash seeding; "
+                               "sum over `sorted(...)`")
+        self.generic_visit(node)
+
+
+def race_lint_source(source: str, path: str = "<string>", *,
+                     rng_home: bool = False) -> list[LintFinding]:
+    """Run the dynrace AST rules (DYN703/704/705) over ``source``.
+    ``rng_home`` marks the sanctioned StreamRegistry module, where
+    seeded generator construction is the whole point."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [LintFinding(path, exc.lineno or 0, exc.offset or 0,
+                            "DYN000", f"syntax error: {exc.msg}")]
+    linter = _RaceLinter(path, source, rng_home=rng_home)
+    linter.visit(tree)
+    return sorted(linter.findings, key=lambda f: (f.path, f.line, f.col))
+
+
+def _is_rng_home(path: pathlib.Path) -> bool:
+    return path.name == RNG_HOME[1] and RNG_HOME[0] in path.parts
+
+
+def race_lint_file(path: pathlib.Path) -> list[LintFinding]:
+    return race_lint_source(
+        path.read_text(encoding="utf-8"),
+        str(path),
+        rng_home=_is_rng_home(path),
+    )
+
+
+def race_lint_paths(
+    paths: Iterable[str | pathlib.Path],
+) -> list[LintFinding]:
+    """Race-lint files and/or directory trees (``*.py``, recursively)."""
+    findings: list[LintFinding] = []
+    for raw in paths:
+        p = pathlib.Path(raw)
+        files: Sequence[pathlib.Path]
+        if p.is_dir():
+            files = sorted(p.rglob("*.py"))
+        else:
+            files = [p]
+        for f in files:
+            findings.extend(race_lint_file(f))
     return findings

@@ -1,0 +1,161 @@
+"""dynrace's happens-before model over communication trace summaries.
+
+dynflow's abstract interpretation already turns each program root into
+a *trace* — a tree of :class:`~repro.analysis.flow.domain.CommEvent`,
+``LoopNode`` and ``ChoiceNode``.  This module flattens such trees into
+:class:`RaceEvent` records carrying the happens-before facts the race
+checker needs:
+
+**Epochs.**  Every world/active collective (and the ``begin_cycle`` /
+``end_cycle`` pair) is a synchronization point all participating ranks
+pass together, so it induces ordering edges: a blocking receive in
+epoch *e* completes before its rank enters the epoch-closing
+collective, and a send posted after that collective therefore
+happens-after the receive — it can never supply it.  The sound
+matching rule is one-sided: a send may match a receive **unless** the
+send's epoch is strictly greater (an *earlier* send may still be in
+flight across any number of collectives — collectives do not flush
+point-to-point traffic).
+
+**Pins.**  A branch on ``ep.rank == 0`` restricts its true arm to one
+executing rank.  Events keep the innermost pin so the checker can
+count *distinct concurrent sources*: two send sites pinned to the same
+rank are one source (per-pair non-overtaking orders them); an unpinned
+SPMD site is executed by many ranks at once and counts as at least
+two.
+
+**Loops.**  Iterations blur epoch boundaries (iteration *i*'s send can
+race iteration *i+1*'s receive), so events inside a loop match
+conservatively regardless of epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..flow.domain import ChoiceNode, CommEvent, LoopNode
+
+__all__ = ["RaceEvent", "collect_events", "may_match", "race_skeleton"]
+
+
+@dataclass(frozen=True)
+class RaceEvent:
+    """One point-to-point event with its happens-before context."""
+
+    event: CommEvent
+    epoch: int
+    #: executing-rank constant when inside a rank-pinned arm, else None
+    #: (the site runs on many ranks concurrently)
+    pin: Optional[int]
+    in_loop: bool
+    #: qualname of the program root whose trace emitted the event
+    root: str
+
+    def describe(self) -> str:
+        who = f"rank {self.pin}" if self.pin is not None else "many ranks"
+        loop = ", looped" if self.in_loop else ""
+        return (
+            f"{self.event.render()} in {self.root} "
+            f"[{who}{loop}, epoch {self.epoch}]"
+        )
+
+
+def collect_events(trace, root: str, *, out: Optional[list] = None,
+                   epoch: int = 0, pin: Optional[int] = None,
+                   in_loop: bool = False) -> int:
+    """Flatten ``trace`` into ``out``; returns the epoch counter after
+    the trace (collectives increment it, forming the ordering edges)."""
+    if out is None:
+        out = []
+    for node in trace:
+        if isinstance(node, CommEvent):
+            if node.kind in ("coll", "cycle") and node.scope in (
+                "world", "active"
+            ):
+                epoch += 1
+            elif node.scope == "p2p":
+                out.append(RaceEvent(node, epoch, pin, in_loop, root))
+        elif isinstance(node, LoopNode):
+            epoch = collect_events(
+                node.body, root, out=out, epoch=epoch, pin=pin, in_loop=True
+            )
+        elif isinstance(node, ChoiceNode):
+            arm_epochs = [epoch]
+            for i, arm in enumerate(node.arms):
+                arm_pin = pin
+                if i == 0 and node.pin is not None:
+                    arm_pin = node.pin
+                arm_epochs.append(collect_events(
+                    arm, root, out=out, epoch=epoch, pin=arm_pin,
+                    in_loop=in_loop,
+                ))
+            epoch = max(arm_epochs)
+    return epoch
+
+
+def _as_int(text: str) -> Optional[int]:
+    try:
+        return int(text)
+    except ValueError:
+        return None
+
+
+def may_match(send: RaceEvent, recv: RaceEvent) -> bool:
+    """Could ``send`` supply ``recv``?  Happens-before rules out only
+    sends posted strictly after the receive's epoch (outside loops);
+    tag and destination constraints rule out provably different
+    constants — everything else stays conservatively matchable."""
+    if send.event.kind != "send":
+        return False
+    # ordering: a send after the receive's closing collective
+    # happens-after the (blocking) receive completed
+    if (
+        send.epoch > recv.epoch
+        and not send.in_loop
+        and not recv.in_loop
+    ):
+        return False
+    # tag: a concrete mismatch cannot match (wildcard tag matches all)
+    if recv.event.tag != "*":
+        s_tag, r_tag = _as_int(send.event.tag), _as_int(recv.event.tag)
+        if s_tag is not None and r_tag is not None and s_tag != r_tag:
+            return False
+    # destination: a send to a constant rank only reaches a receive
+    # pinned to a different constant if the pin lies
+    dest = _as_int(send.event.peer)
+    if dest is not None and recv.pin is not None and dest != recv.pin:
+        return False
+    # source constraint of an exact-source receive (ANY_TAG wildcard):
+    # a sender pinned to a different constant rank cannot supply it
+    if recv.event.peer != "*":
+        src = _as_int(recv.event.peer)
+        if src is not None and send.pin is not None and send.pin != src:
+            return False
+    return True
+
+
+def race_skeleton(trace) -> tuple:
+    """Full-traffic projection for DYN702 arm comparison: unlike
+    :func:`~repro.analysis.flow.domain.skeleton` it keeps p2p events
+    (with peer/tag), because schedule-dependent *point-to-point*
+    divergence is exactly what DYN702 is after."""
+    out: list = []
+    for node in trace:
+        if isinstance(node, CommEvent):
+            entry = node.sig
+            if node.scope == "p2p":
+                entry = entry + (node.peer, node.tag)
+            out.append(entry)
+        elif isinstance(node, LoopNode):
+            body = race_skeleton(node.body)
+            if body:
+                out.append(("loop", node.tainted, body))
+        elif isinstance(node, ChoiceNode):
+            arms = [race_skeleton(a) for a in node.arms]
+            first = arms[0] if arms else ()
+            if all(a == first for a in arms):
+                out.extend(first)
+            else:
+                out.append(("choice", tuple(arms)))
+    return tuple(out)

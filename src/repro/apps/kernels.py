@@ -154,7 +154,10 @@ def particle_row_flows(counts: np.ndarray, g: int, step: int, seed: int):
     invariant under redistribution.
     """
     counts = np.asarray(counts)
-    rng = np.random.default_rng(((step * 1_000_003 + g) ^ seed) & 0x7FFFFFFF)
+    # content-addressed stream, fully determined by (g, step, seed)
+    # and identical on every rank
+    rng = np.random.default_rng(  # dynrace: ok
+        ((step * 1_000_003 + g) ^ seed) & 0x7FFFFFFF)
     n = counts.shape[0]
     frac_up = rng.uniform(0.05, 0.15, size=n)
     frac_down = rng.uniform(0.05, 0.15, size=n)

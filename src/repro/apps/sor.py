@@ -32,7 +32,9 @@ class SORConfig:
 
 
 def initial_grid(cfg: SORConfig) -> np.ndarray:
-    rng = np.random.default_rng(cfg.seed)
+    # seeded straight from the config, identical on every rank —
+    # the initial condition is content-addressed, not a draw
+    rng = np.random.default_rng(cfg.seed)  # dynrace: ok
     return rng.random((cfg.n, cfg.n))
 
 

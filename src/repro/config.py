@@ -126,6 +126,12 @@ class ClusterSpec:
     #: simulated cost, but the Python-side bookkeeping is real — keep
     #: it off for wall-clock benchmarks.
     observe: bool | None = None
+    #: schedule perturbation (``repro.analysis.race``): an integer seed
+    #: arms the kernel's :class:`~repro.simcluster.kernel.Perturb`
+    #: tie-break flipping; None (the default) defers to the
+    #: ``DYNMPI_PERTURB`` environment variable.  A schedule-clean run
+    #: exports byte-identical traces under every seed.
+    perturb: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -134,6 +140,12 @@ class ClusterSpec:
             raise ConfigError(f"sanitize must be True/False/None, got {self.sanitize!r}")
         if self.observe not in (None, True, False):
             raise ConfigError(f"observe must be True/False/None, got {self.observe!r}")
+        if self.perturb is not None and (
+            isinstance(self.perturb, bool) or not isinstance(self.perturb, int)
+        ):
+            raise ConfigError(
+                f"perturb must be an integer seed or None, got {self.perturb!r}"
+            )
 
     def with_nodes(self, n_nodes: int) -> "ClusterSpec":
         return replace(self, n_nodes=n_nodes)

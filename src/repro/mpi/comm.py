@@ -153,6 +153,10 @@ class SimComm:
         self.san = getattr(cluster, "sanitizer", None)
         # dynscope trace recorder (repro.obs), or None when off
         self.obs = getattr(cluster, "obs", None)
+        #: wildcard receives that found queued candidates from ≥2
+        #: distinct sources — each one is a matching the MPI standard
+        #: leaves undefined (the dynrace DYN701 condition, observed)
+        self.match_ties = 0
 
     def endpoint(self, rank: int) -> "Endpoint":
         if not (0 <= rank < self.size):
@@ -237,13 +241,42 @@ class SimComm:
 
     def _try_match(self, rank: int, source: int, tag: int) -> Optional[_Envelope]:
         box = self._mailboxes[rank]
+        pick = -1
         for i, env in enumerate(box):
             if env.matches(source, tag):
-                del box[i]
-                if self.san is not None:
-                    self.san.on_match(env, rank, source, tag)
-                return env
-        return None
+                pick = i
+                break
+        if pick < 0:
+            return None
+        if source == ANY_SOURCE:
+            # An ANY_SOURCE receive with queued messages from several
+            # sources is a matching MPI leaves undefined: non-overtaking
+            # only orders messages *per source pair*, so any source's
+            # earliest eligible envelope may win.  Surface the tie (a
+            # counter here, a per-rank metric in the trace) and, when
+            # the kernel's perturbation is armed, resolve it by seed
+            # instead of arrival order — that flip is exactly what turns
+            # a DYN701 race into a byte-level trace diff.  An exact
+            # source (even with ANY_TAG) has a defined winner: the
+            # earliest match from that source; nothing to perturb.
+            candidates = []
+            seen: set[int] = set()
+            for i, env in enumerate(box):
+                if env.matches(source, tag) and env.src not in seen:
+                    seen.add(env.src)
+                    candidates.append(i)
+            if len(candidates) > 1:
+                self.match_ties += 1
+                if self.obs is not None:
+                    self.obs.rank_registry(rank).count("mpi.match_ties", 1)
+                perturb = self.sim.perturb
+                if perturb is not None:
+                    key = (rank, tag, tuple(box[i].seq for i in candidates))
+                    pick = candidates[perturb.choose(len(candidates), key)]
+        env = box.pop(pick)
+        if self.san is not None:
+            self.san.on_match(env, rank, source, tag)
+        return env
 
 
 class Endpoint:

@@ -26,7 +26,7 @@ __all__ = ["Cluster"]
 class Cluster:
     def __init__(self, spec: ClusterSpec):
         self.spec = spec
-        self.sim = Simulator()
+        self.sim = Simulator(perturb=spec.perturb)
         self.rng = StreamRegistry(spec.seed)
         self.nodes = [
             Node(self.sim, i, spec.node, rng=self.rng.stream(f"cpu{i}"))

@@ -17,17 +17,71 @@ Design notes
 * Deadlock detection: if the heap drains while registered processes
   are still blocked, :class:`~repro.errors.DeadlockError` is raised
   listing them — the simulated analogue of a hung MPI job.
+* Schedule perturbation (:class:`Perturb`, ``DYNMPI_PERTURB=<seed>``)
+  flips tie-breaks that real MPI leaves *undefined* — today the choice
+  among queued wildcard-receive candidates from distinct sources
+  (see :meth:`repro.mpi.comm.SimComm._try_match`).  The heap's
+  ``(time, seq)`` order is deliberately **not** perturbed: same-time
+  event order is part of this kernel's determinism contract (the trace
+  exporters break timestamp ties by emission seq), not an ordering the
+  MPI standard leaves open.  A program is schedule-clean exactly when
+  its exported trace is byte-identical under every perturbation seed.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..errors import DeadlockError, SimulationError
 from .syscalls import Compute, Fork, Sleep, Syscall, Wait, WaitAny
 
-__all__ = ["Simulator", "SimProcess", "Signal", "Timer", "ProcState"]
+__all__ = [
+    "Perturb", "ProcState", "Signal", "SimProcess", "Simulator", "Timer",
+    "perturb_from_env",
+]
+
+
+class Perturb:
+    """Deterministic schedule-perturbation state (dynrace's dynamic
+    cross-check, ``docs/ANALYSIS.md`` §5).
+
+    ``choose(n, key)`` is a pure function of ``(seed, key)`` — an
+    FNV-1a hash, the same stable-hash idiom as
+    :func:`repro.simcluster.rng._stable_hash` — so a perturbed run is
+    itself fully reproducible: the property being tested is *trace
+    invariance across seeds*, not determinism of a single seed.
+    """
+
+    __slots__ = ("seed",)
+
+    def __init__(self, seed: int):
+        self.seed = int(seed)
+
+    def choose(self, n: int, key: tuple) -> int:
+        """Pick an index in ``[0, n)`` from the perturbation seed and a
+        tuple identifying the tie (envelope seqs, rank, tag...)."""
+        h = (2166136261 ^ (self.seed & 0xFFFFFFFF)) * 16777619 & 0xFFFFFFFF
+        for part in key:
+            for byte in repr(part).encode("utf-8"):
+                h = ((h ^ byte) * 16777619) & 0xFFFFFFFF
+        return h % n
+
+
+def perturb_from_env() -> Optional[Perturb]:
+    """Read ``DYNMPI_PERTURB``: unset/empty means off, any integer
+    (including 0) arms perturbation with that seed."""
+    raw = os.environ.get("DYNMPI_PERTURB", "").strip()
+    if not raw:
+        return None
+    try:
+        seed = int(raw)
+    except ValueError:
+        raise SimulationError(
+            f"DYNMPI_PERTURB must be an integer seed, got {raw!r}"
+        ) from None
+    return Perturb(seed)
 
 
 class ProcState:
@@ -138,7 +192,7 @@ class Simulator:
         sim.run()
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, perturb: Optional[int] = None) -> None:
         self.now = 0.0
         self._heap: list[tuple[float, int, Timer]] = []
         self._seq = 0
@@ -146,6 +200,14 @@ class Simulator:
         self.n_events = 0
         self._stopped = False
         self._watchdogs: list[Callable[[SimProcess, Syscall], None]] = []
+        #: schedule-perturbation state, or None when off.  An explicit
+        #: seed wins; ``None`` defers to ``DYNMPI_PERTURB`` (the same
+        #: explicit-beats-environment convention as ClusterSpec.sanitize
+        #: and .observe).  Consumers (the MPI match loop) flip their
+        #: MPI-undefined tie-breaks through ``self.perturb.choose``.
+        self.perturb: Optional[Perturb] = (
+            Perturb(perturb) if perturb is not None else perturb_from_env()
+        )
 
     def add_watchdog(self, cb: Callable[[SimProcess, Syscall], None]) -> None:
         """Register ``cb(proc, request)`` to run every time a process

@@ -1,0 +1,22 @@
+"""Seeded-bad dynrace fixture: the matched source steers communication.
+
+The master's wildcard receive decides which worker gets the follow-up
+message: the branch condition derives from ``st.source`` — a value the
+message schedule chose — and the two arms emit *different* traffic.
+dynrace must flag the branch with DYN702 (on top of the underlying
+DYN701 wildcard race).  Never run: whichever worker loses the match
+blocks forever, which is exactly the hazard the code encodes.
+"""
+
+
+def steer_program(ep):
+    if ep.rank == 0:
+        part, st = yield from ep.recv()  # wildcard: schedule picks source
+        if st.source == 1:
+            yield from ep.send(1, tag=2, payload=part)
+        else:
+            yield from ep.send(2, tag=2, payload=part)
+    else:
+        yield from ep.send(0, tag=1, payload=float(ep.rank))
+        _reply, _st = yield from ep.recv(0, tag=2)
+    return None

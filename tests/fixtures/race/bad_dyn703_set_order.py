@@ -1,0 +1,17 @@
+"""Seeded-bad dynrace fixture: set iteration drives message emission.
+
+The fan-out loop iterates a ``set`` literal, so the *order* the sends
+hit the wire depends on hash seeding, not the program — DYN703.  The
+fix is one word (``sorted(peers)``), which is what the finding's
+message says.
+"""
+
+
+def fanout_program(ep):
+    if ep.rank == 0:
+        peers = {1, 2, 3}
+        for dst in peers:  # emission order = set iteration order
+            yield from ep.send(dst, tag=0, payload=float(dst))
+    else:
+        _data, _st = yield from ep.recv(0, tag=0)
+    return None

@@ -1,0 +1,21 @@
+"""Seeded-bad dynrace fixture: RNG outside the StreamRegistry home.
+
+Three distinct DYN704 shapes: importing the process-global ``random``
+module, drawing from it, and constructing an entropy-seeded numpy
+generator.  All belong in ``simcluster/rng.py``'s seeded
+StreamRegistry instead.
+"""
+
+import random
+
+import numpy as np
+
+
+def jitter_program(ep):
+    peer = (ep.rank + 1) % 2
+    delay = random.random()  # process-global random state
+    rng = np.random.default_rng()  # entropy-seeded: irreproducible
+    yield from ep.send(peer, tag=0,
+                       payload=rng.standard_normal(4) * delay)
+    _data, _st = yield from ep.recv(peer, tag=0)
+    return None

@@ -1,0 +1,16 @@
+"""Seeded-bad dynrace fixture: float accumulation over set iteration.
+
+Float addition does not commute with reordering, so both the ``+=``
+loop and the ``sum()`` over a set-ordered generator produce
+hash-seeding-dependent totals — DYN705, twice.
+"""
+
+
+def checksum_program(ep):
+    shares = {0.5 * (r + 1) for r in range(4)}
+    total = 0.0
+    for part in shares:  # accumulation order = set iteration order
+        total += part
+    grand = sum(part * part for part in shares)
+    yield from ep.send(0, tag=0, payload=total + grand)
+    return None
