@@ -4,40 +4,22 @@ Every bench honors ``DYNMPI_BENCH_SCALE`` (0 < s <= 1, default is the
 per-bench default scale) and writes its rendered table both to stdout
 and to ``benchmarks/results/<name>.txt`` so results survive pytest's
 capture.
+
+The machine-readable ``BENCH_<name>.json`` sidecars are serialized
+through :mod:`repro.campaign.results` — the same code path the
+campaign engine's aggregates use — so the format has exactly one
+definition.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import json
-import os
 import pathlib
 
-import numpy as np
 import pytest
 
+from repro.campaign.results import render_bench_json
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-
-
-def _jsonable(obj):
-    """Best-effort conversion of bench payloads (dataclass rows, numpy
-    scalars/arrays, nested containers) into JSON-serializable data."""
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return {
-            f.name: _jsonable(getattr(obj, f.name))
-            for f in dataclasses.fields(obj)
-        }
-    if isinstance(obj, dict):
-        return {str(k): _jsonable(v) for k, v in obj.items()}
-    if isinstance(obj, (list, tuple, set, frozenset)):
-        return [_jsonable(v) for v in obj]
-    if isinstance(obj, np.generic):
-        return obj.item()
-    if isinstance(obj, np.ndarray):
-        return obj.tolist()
-    if obj is None or isinstance(obj, (str, int, float, bool)):
-        return obj
-    return str(obj)
 
 
 def _obs_summary():
@@ -98,12 +80,7 @@ def record_table(results_dir):
         print(table)
         print(f"[written to {path}]")
         if data is not None:
-            payload = {"name": name, "data": _jsonable(data)}
-            obs = _obs_summary()
-            if obs is not None:
-                payload["obs"] = obs
             jpath = results_dir / f"BENCH_{name}.json"
-            jpath.write_text(
-                json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            jpath.write_text(render_bench_json(name, data, _obs_summary()))
             print(f"[data written to {jpath}]")
     return _record

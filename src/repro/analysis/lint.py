@@ -40,6 +40,15 @@ DYN601   ad-hoc instrumentation in library code (under ``repro``):
          driver (``flow/``), CLI entry points (``__main__.py``) and
          report formatters (``report.py``) are exempt; inside
          deterministic zones the time-family check defers to DYN101
+DYN801   process-level parallelism in library code (under ``repro``)
+         outside :mod:`repro.campaign`: importing
+         ``multiprocessing``, ``concurrent.futures`` or
+         ``subprocess`` — the simulator's determinism story depends
+         on it staying single-process; fan out at the campaign
+         layer (dyncamp), which journals and aggregates
+         deterministically.  Suppressed with ``# dyncamp: ok``
+         (not ``# dynsan: ok``) so an exemption names the
+         subsystem that owns the rule
 =======  ==========================================================
 
 Suppress a finding by putting ``# dynsan: ok`` on the offending line.
@@ -123,6 +132,20 @@ OBS_EXEMPT_DIRS = ("sysmon", "obs", "flow", "race")
 #: CLI entry points and report formatters exist to write to stdout
 OBS_EXEMPT_FILES = ("__main__.py", "report.py")
 
+#: library zone where DYN801 (process-level parallelism) applies; the
+#: campaign engine (dyncamp) is the one sanctioned home for worker
+#: pools — everything else in the library must stay single-process
+PROCESS_ZONE = "repro"
+PROCESS_EXEMPT_ZONE = "campaign"
+
+#: top-level modules whose import constitutes process-level parallelism
+#: (``concurrent`` covers ``concurrent.futures``)
+_PROCESS_MODULES = frozenset({"multiprocessing", "concurrent", "subprocess"})
+
+#: suppression marker for DYN801 — the rule belongs to dyncamp, so an
+#: exemption is spelled ``# dyncamp: ok``
+CAMPAIGN_SUPPRESS_MARK = "dyncamp: ok"
+
 #: wallclock reads DYN601 flags in library code (DYN101's time-family
 #: subset; entropy stays DYN101-only — it is a determinism bug, not an
 #: instrumentation one)
@@ -184,13 +207,15 @@ class _Linter(ast.NodeVisitor):
     def __init__(self, path: str, source: str, *, deterministic_zone: bool,
                  fault_injection_zone: bool = False,
                  row_membership_zone: bool = False,
-                 instrumentation_zone: bool = False):
+                 instrumentation_zone: bool = False,
+                 process_zone: bool = False):
         self.path = path
         self.lines = source.splitlines()
         self.zone = deterministic_zone
         self.fault_zone = fault_injection_zone
         self.row_zone = row_membership_zone
         self.inst_zone = instrumentation_zone
+        self.process_zone = process_zone
         self.findings: list[LintFinding] = []
         #: local alias -> real module name (import numpy as np)
         self.aliases: dict[str, str] = {}
@@ -201,17 +226,26 @@ class _Linter(ast.NodeVisitor):
         self.from_time: dict[str, str] = {}
 
     # -- helpers --------------------------------------------------------
-    def _suppressed(self, node: ast.AST) -> bool:
+    def _suppressed(self, node: ast.AST, mark: str = "dynsan: ok") -> bool:
         line = getattr(node, "lineno", 0)
         if 1 <= line <= len(self.lines):
-            return "dynsan: ok" in self.lines[line - 1]
+            return mark in self.lines[line - 1]
         return False
 
     def _emit(self, node: ast.AST, code: str, message: str) -> None:
-        if not self._suppressed(node):
+        mark = CAMPAIGN_SUPPRESS_MARK if code == "DYN801" else "dynsan: ok"
+        if not self._suppressed(node, mark):
             self.findings.append(LintFinding(
                 self.path, node.lineno, node.col_offset, code, message
             ))
+
+    def _check_process_import(self, node: ast.AST, module: str) -> None:
+        if self.process_zone and module.split(".")[0] in _PROCESS_MODULES:
+            self._emit(node, "DYN801",
+                       f"`{module}` brings process-level parallelism into "
+                       f"library code; the simulator must stay "
+                       f"single-process — fan out at the campaign layer "
+                       f"(repro.campaign) instead")
 
     def _resolve(self, dotted: Optional[str]) -> Optional[str]:
         """Rewrite the leading alias of a dotted path to its module."""
@@ -239,6 +273,7 @@ class _Linter(ast.NodeVisitor):
         for alias in node.names:
             self.aliases[alias.asname or alias.name.split(".")[0]] = \
                 alias.name.split(".")[0]
+            self._check_process_import(node, alias.name)
             if self.zone and alias.name.split(".")[0] == "random":
                 self._emit(node, "DYN101",
                            "the `random` module is nondeterministic state "
@@ -247,6 +282,8 @@ class _Linter(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module:
+            self._check_process_import(node, node.module)
         if self.zone and node.module and node.module.split(".")[0] == "random":
             self._emit(node, "DYN101",
                        "importing from `random` breaks determinism; use the "
@@ -451,6 +488,14 @@ def _in_instrumentation_zone(path: pathlib.Path) -> bool:
     return path.name not in OBS_EXEMPT_FILES
 
 
+def _in_process_zone(path: pathlib.Path) -> bool:
+    """Library code (under ``repro``) outside the campaign engine: the
+    only place DYN801 applies.  Tests, examples, and benchmarks may
+    spawn processes freely."""
+    parts = path.parts
+    return PROCESS_ZONE in parts and PROCESS_EXEMPT_ZONE not in parts
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -459,10 +504,12 @@ def lint_source(
     fault_injection_zone: bool = False,
     row_membership_zone: bool = False,
     instrumentation_zone: bool = False,
+    process_zone: bool = False,
 ) -> list[LintFinding]:
     """Lint python ``source``; ``deterministic_zone`` enables DYN101,
     ``fault_injection_zone`` enables DYN301, ``row_membership_zone``
-    enables DYN401, ``instrumentation_zone`` enables DYN601."""
+    enables DYN401, ``instrumentation_zone`` enables DYN601,
+    ``process_zone`` enables DYN801."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -471,7 +518,8 @@ def lint_source(
     linter = _Linter(path, source, deterministic_zone=deterministic_zone,
                      fault_injection_zone=fault_injection_zone,
                      row_membership_zone=row_membership_zone,
-                     instrumentation_zone=instrumentation_zone)
+                     instrumentation_zone=instrumentation_zone,
+                     process_zone=process_zone)
     linter.visit(tree)
     return sorted(linter.findings, key=lambda f: (f.path, f.line, f.col))
 
@@ -484,6 +532,7 @@ def lint_file(path: pathlib.Path) -> list[LintFinding]:
         fault_injection_zone=_in_fault_injection_zone(path),
         row_membership_zone=_in_row_membership_zone(path),
         instrumentation_zone=_in_instrumentation_zone(path),
+        process_zone=_in_process_zone(path),
     )
 
 

@@ -1,0 +1,79 @@
+"""dyncamp — the campaign engine: thousands of seeded scenarios,
+swept in parallel, resumable on disk.
+
+Every perf and robustness claim in this repository used to rest on a
+handful of hand-picked scenarios.  This package turns those one-off
+benchmarks into *campaigns*: declare a parameter space (app x cluster
+size x load script x failure script x seed x toggles), expand it into
+scenario combos (:mod:`repro.campaign.space`), and execute the combos
+across host CPU cores with a multiprocessing worker pool
+(:mod:`repro.campaign.engine`).  The simulator is deterministic and
+single-process, so the sweep is embarrassingly parallel; this package
+is the one sanctioned home for process-level parallelism in the
+library (lint rule DYN801 keeps it that way).
+
+Sweep state is resumable: every combo transition (claim / done /
+error / skip) is journaled to disk (:mod:`repro.campaign.sweeper`,
+the execo ``ParamSweeper`` idiom), so a killed campaign restarts
+without redoing finished work, and a crashing combo is retried a
+bounded number of times before being quarantined instead of wedging
+the pool.  Per-combo results are deterministic simulated metrics;
+the aggregate (``BENCH_campaign.json``) is byte-identical no matter
+how often the sweep was interrupted or in which order workers
+finished (:mod:`repro.campaign.results`).
+
+A fuzzer mode (:mod:`repro.campaign.fuzz`) generates
+randomized-but-seeded load/failure scenarios and checks three
+invariants on each: the sequential reference oracle (PR 3), the
+runtime communication sanitizer (PR 1), and schedule-perturbation
+trace invariance (PR 6).  Failing scenarios are persisted with a
+minimal repro command line.
+
+CLI: ``python -m repro.campaign {run,resume,status,fuzz,report}``;
+see docs/CAMPAIGNS.md.
+"""
+
+from .space import Combo, ParamSpace, combo_slug, expand
+from .results import (
+    aggregate_results,
+    bench_payload,
+    jsonable,
+    render_bench_json,
+    write_bench_json,
+)
+from .sweeper import ParamSweeper, SweepStats
+from .scenarios import (
+    APP_NAMES,
+    SCENARIO_DEFAULTS,
+    build_scenario,
+    parse_failure,
+    parse_load,
+)
+from .runner import run_combo, safe_run_combo
+from .engine import Engine
+from .fuzz import FuzzReport, fuzz_params, run_fuzz
+
+__all__ = [
+    "APP_NAMES",
+    "Combo",
+    "Engine",
+    "FuzzReport",
+    "ParamSpace",
+    "ParamSweeper",
+    "SCENARIO_DEFAULTS",
+    "SweepStats",
+    "aggregate_results",
+    "bench_payload",
+    "build_scenario",
+    "combo_slug",
+    "expand",
+    "fuzz_params",
+    "jsonable",
+    "parse_failure",
+    "parse_load",
+    "render_bench_json",
+    "run_combo",
+    "run_fuzz",
+    "safe_run_combo",
+    "write_bench_json",
+]

@@ -1,0 +1,123 @@
+"""The campaign engine: sweep the pending combos across CPU cores.
+
+The engine is deliberately thin — all durable state lives in the
+:class:`~repro.campaign.sweeper.ParamSweeper` journal, all scenario
+logic in :mod:`repro.campaign.runner` — so that killing the engine at
+any instant (SIGINT, SIGKILL, OOM) loses nothing but the in-flight
+attempts.  A run proceeds in *passes*: claim a batch of pending
+combos, journal the claims, execute the batch (inline, or on a
+``multiprocessing`` pool when ``workers > 1``), journal each outcome,
+repeat until nothing is pending.  Failed combos re-enter the pending
+set until the sweeper quarantines them (bounded retry), so one
+poisoned combo can neither wedge the pool nor spin forever.
+
+The simulator is deterministic and single-process, which makes the
+sweep embarrassingly parallel and the per-combo results independent
+of scheduling: after any sequence of runs/kills/resumes the final
+aggregate is byte-identical to an uninterrupted sweep's.
+
+This module is (with the pool plumbing below) the reason lint rule
+DYN801 exists: process-level parallelism in library code is allowed
+*only* under ``repro.campaign`` — the simulator itself must stay
+single-process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Optional
+
+from .results import aggregate_results, write_bench_json
+from .runner import safe_run_combo
+from .space import Combo
+from .sweeper import ParamSweeper, SweepStats
+
+__all__ = ["Engine", "default_workers"]
+
+
+def default_workers() -> int:
+    """One worker per host CPU, capped — sweep combos are sub-second,
+    so more pool processes than cores only adds fork/IPC overhead."""
+    return min(os.cpu_count() or 1, 16)
+
+
+class Engine:
+    """Execute a sweep to completion (or until ``max_combos``)."""
+
+    def __init__(
+        self,
+        sweeper: ParamSweeper,
+        *,
+        workers: Optional[int] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ):
+        self.sweeper = sweeper
+        self.workers = default_workers() if workers is None else max(1, workers)
+        self._progress = progress or (lambda msg: None)
+
+    # -- execution -------------------------------------------------------
+    def _run_batch(self, batch: list[Combo]) -> list[dict]:
+        params = [c.as_dict() for c in batch]
+        if self.workers == 1 or len(batch) == 1:
+            return [safe_run_combo(p) for p in params]
+        with multiprocessing.Pool(min(self.workers, len(batch))) as pool:
+            return pool.map(safe_run_combo, params)
+
+    def run(self, max_combos: Optional[int] = None) -> SweepStats:
+        """Sweep until complete; resumable at every journal line.
+
+        ``max_combos`` caps the number of combo *attempts* this call
+        makes (used by tests and the CI interrupt drill); the sweep is
+        then resumed by simply calling :meth:`run` again (possibly
+        from a fresh process via ``python -m repro.campaign resume``).
+        """
+        sweeper = self.sweeper
+        attempts = 0
+        # batches span all workers a few times over: big enough to keep
+        # the pool busy, small enough that a kill re-queues little
+        batch_size = max(1, self.workers * 4)
+        while True:
+            pending = sweeper.pending()
+            if not pending:
+                break
+            if max_combos is not None:
+                if attempts >= max_combos:
+                    break
+                pending = pending[: max_combos - attempts]
+            batch = pending[:batch_size]
+            for combo in batch:
+                sweeper.claim(combo)
+            try:
+                rows = self._run_batch(batch)
+            except KeyboardInterrupt:
+                # claims stay in the journal as stale → re-queued (and
+                # counted against the retry budget) on resume
+                raise
+            attempts += len(batch)
+            for combo, row in zip(batch, rows):
+                if row.get("ok"):
+                    row = dict(row)
+                    row.pop("ok")
+                    sweeper.mark_done(combo.slug, row)
+                else:
+                    sweeper.mark_error(combo.slug, row.get("error", "?"))
+            sweeper.release_claims()
+            self._progress(sweeper.stats().render())
+        return sweeper.stats()
+
+    # -- aggregation -----------------------------------------------------
+    def aggregate(self, *, bench_name: str = "campaign",
+                  write_to=None) -> dict:
+        """Fold the persisted result rows into the campaign aggregate;
+        when ``write_to`` is given, also emit ``BENCH_<name>.json``
+        there via the shared serializer."""
+        agg = aggregate_results(
+            self.sweeper.space.name,
+            self.sweeper.load_results(),
+            skipped=sorted(self.sweeper.skipped),
+            n_combos=len(self.sweeper.combos),
+        )
+        if write_to is not None:
+            write_bench_json(write_to, bench_name, agg)
+        return agg

@@ -1,0 +1,263 @@
+"""Scenario fuzzer: randomized-but-seeded load/failure schedules with
+three independent invariant checkers.
+
+Each fuzz iteration derives a scenario from ``(campaign_seed, index)``
+through a self-contained SplitMix64 generator — no ``random`` module,
+no numpy Generator, so the draw sequence is bit-stable across Python
+and numpy versions and the dynrace DYN704 rule stays clean.  The
+scenario is then executed up to three times:
+
+1. **oracle** (PR 3): the distributed run must compute exactly what
+   its sequential reference computes, redistribution or not;
+2. **sanitize** (PR 1): the run must survive the runtime communication
+   sanitizer (deadlock diagnosis, finalize accounting, collective
+   checks) without a finding;
+3. **perturb** (PR 6): with dynscope recording on, the exported trace
+   must be byte-identical under schedule-perturbation seeds — the
+   adaptation machinery must not leak MPI-undefined match order into
+   results.
+
+A violated invariant persists the scenario to ``failures.jsonl`` with
+a minimal repro command line (``python -m repro.campaign fuzz --seed S
+--index I``) so a failure found in a thousand-scenario sweep is one
+copy-paste away from a debugger.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import pathlib
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .runner import run_combo
+from .scenarios import build_scenario, resolve_params
+from .space import combo_slug
+
+__all__ = ["SplitMix64", "FuzzReport", "fuzz_params", "fuzz_one", "run_fuzz"]
+
+_MASK = (1 << 64) - 1
+#: perturbation seeds each scenario's trace must be invariant under
+PERTURB_SEEDS = (1, 2)
+
+
+class SplitMix64:
+    """Tiny deterministic PRNG (SplitMix64), seeded from integers.
+
+    The campaign's randomness must be reproducible from ``(seed,
+    index)`` alone, forever — library RNGs can change their draw
+    streams between versions, this cannot.
+    """
+
+    def __init__(self, *seed_parts: int):
+        acc = 0xCBF29CE484222325  # FNV-1a offset basis, folds the parts
+        for part in seed_parts:
+            acc ^= part & _MASK
+            acc = (acc * 0x100000001B3) & _MASK
+        self._state = acc
+
+    def next_u64(self) -> int:
+        self._state = (self._state + 0x9E3779B97F4A7C15) & _MASK
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+        return z ^ (z >> 31)
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi] (inclusive)."""
+        return lo + self.next_u64() % (hi - lo + 1)
+
+    def choice(self, seq):
+        return seq[self.next_u64() % len(seq)]
+
+    def chance(self, num: int, den: int) -> bool:
+        """True with probability num/den."""
+        return self.next_u64() % den < num
+
+
+def fuzz_params(seed: int, index: int) -> dict:
+    """The scenario for fuzz iteration ``index`` of campaign ``seed``."""
+    rng = SplitMix64(seed, index)
+    app = rng.choice(("jacobi", "sor", "cg", "particle"))
+    crash = app == "jacobi" and rng.chance(3, 20)
+    if crash:
+        # stay inside the envelope PR 2 proved bitwise-exact: 4 nodes,
+        # default-Ethernet cycle lengths, crash well before the end
+        n_nodes = 4
+        size = 64
+        cycles = rng.randint(36, 48)
+        failure = f"crash:n{rng.randint(1, 3)}@c{rng.randint(8, 18)}"
+    else:
+        n_nodes = rng.randint(2, 5)
+        size = rng.randint(24, 40) if app == "cg" else rng.randint(16, 32)
+        cycles = rng.randint(6, 14)
+        failure = "none"
+        if rng.chance(1, 4):
+            failure = (f"slow:n{rng.randint(0, n_nodes - 1)}"
+                       f"@c{rng.randint(2, 5)}x{rng.randint(1, 2)}")
+    triggers = []
+    for _ in range(rng.randint(0, 2)):
+        node = rng.randint(0, n_nodes - 1)
+        start = rng.randint(2, max(2, cycles // 2))
+        frag = f"n{node}@c{start}x{rng.randint(1, 3)}"
+        if rng.chance(1, 3):
+            frag += f"-c{start + rng.randint(2, 6)}"
+        triggers.append(frag)
+    return {
+        "app": app,
+        "n_nodes": n_nodes,
+        "size": size,
+        "cycles": cycles,
+        "load": "+".join(triggers) or "none",
+        "failure": failure,
+        "seed": rng.randint(0, 10_000),
+        "check": 1,
+    }
+
+
+# ---------------------------------------------------------------------------
+# invariant checkers
+# ---------------------------------------------------------------------------
+
+def _oracle_invariant(params: dict) -> str:
+    """Run with the sequential-reference check armed; '' when clean."""
+    try:
+        row = run_combo(dict(params))
+    except Exception as exc:
+        return f"{type(exc).__name__}: {exc}"
+    return "" if row["checks"].get("oracle", "ok") == "ok" else \
+        row["checks"]["oracle"]
+
+
+def _sanitize_invariant(params: dict) -> str:
+    """Re-run under the PR-1 runtime sanitizer; '' when clean."""
+    sanitized = dict(params)
+    sanitized["sanitize"] = 1
+    sanitized["check"] = 0  # the oracle already ran; keep this run lean
+    try:
+        run_combo(sanitized)
+    except Exception as exc:
+        return f"{type(exc).__name__}: {exc}"
+    return ""
+
+
+def _traced_export(params: dict, perturb: int) -> str:
+    from ..apps import run_program
+    from ..obs.export import jsonl_text
+    from ..simcluster import Cluster
+
+    traced = dict(params)
+    traced["observe"] = 1
+    traced["perturb"] = perturb
+    traced["check"] = 0
+    built = build_scenario(resolve_params(traced))
+    cluster = Cluster(built.cluster_spec)
+    if built.failure_script is not None:
+        cluster.install_failure_script(built.failure_script)
+    run_program(cluster, built.program, built.cfg, spec=built.spec,
+                adaptive=True, load_script=built.load_script)
+    return jsonl_text(cluster.obs)
+
+
+def _perturb_invariant(params: dict) -> str:
+    """PR-6 cross-check: the dynscope export must not move under
+    schedule-perturbation seeds; '' when invariant."""
+    try:
+        base = _traced_export(params, 0)
+        for seed in PERTURB_SEEDS:
+            if _traced_export(params, seed) != base:
+                return (f"trace differs under DYNMPI_PERTURB={seed} — "
+                        f"a schedule-dependent outcome leaked into the run")
+    except Exception as exc:
+        return f"{type(exc).__name__}: {exc}"
+    return ""
+
+
+_INVARIANTS = (
+    ("oracle", _oracle_invariant),
+    ("sanitize", _sanitize_invariant),
+    ("perturb", _perturb_invariant),
+)
+
+
+def fuzz_one(args: tuple) -> dict:
+    """Run all invariants for one iteration (pool-safe unit of work)."""
+    seed, index = args
+    params = fuzz_params(seed, index)
+    verdicts = {}
+    for name, checker in _INVARIANTS:
+        verdicts[name] = checker(params) or "ok"
+    ok = all(v == "ok" for v in verdicts.values())
+    row = {
+        "index": index,
+        "seed": seed,
+        "slug": combo_slug(params),
+        "params": params,
+        "invariants": verdicts,
+        "ok": ok,
+    }
+    if not ok:
+        row["repro"] = (f"python -m repro.campaign fuzz "
+                        f"--seed {seed} --index {index}")
+    return row
+
+
+@dataclass
+class FuzzReport:
+    seed: int
+    rows: list = field(default_factory=list)
+
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.rows)
+
+    @property
+    def failures(self) -> list:
+        return [r for r in self.rows if not r["ok"]]
+
+    @property
+    def clean(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        out = [f"fuzz: seed={self.seed} {self.n_scenarios} scenario(s), "
+               f"{len(self.failures)} failure(s)"]
+        for row in self.rows:
+            if row["ok"]:
+                continue
+            bad = {k: v for k, v in row["invariants"].items() if v != "ok"}
+            out.append(f"  FAIL index={row['index']} {row['slug']}")
+            for name, verdict in sorted(bad.items()):
+                out.append(f"    {name}: {verdict}")
+            out.append(f"    repro: {row['repro']}")
+        if self.clean:
+            out.append("fuzz: all invariants clean")
+        return "\n".join(out)
+
+
+def run_fuzz(
+    seed: int,
+    iterations: int,
+    *,
+    workers: int = 1,
+    out_dir: Optional[pathlib.Path] = None,
+    indices: Optional[Sequence[int]] = None,
+) -> FuzzReport:
+    """Fuzz ``iterations`` scenarios (or exactly ``indices``); persists
+    failing scenarios with repro lines when ``out_dir`` is given."""
+    todo = list(indices) if indices is not None else list(range(iterations))
+    jobs = [(seed, i) for i in todo]
+    if workers > 1 and len(jobs) > 1:
+        with multiprocessing.Pool(min(workers, len(jobs))) as pool:
+            rows = pool.map(fuzz_one, jobs)
+    else:
+        rows = [fuzz_one(job) for job in jobs]
+    report = FuzzReport(seed=seed, rows=rows)
+    if out_dir is not None:
+        out_dir = pathlib.Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        with open(out_dir / "failures.jsonl", "a", encoding="utf-8") as fh:
+            for row in report.failures:
+                fh.write(json.dumps(row, sort_keys=True) + "\n")
+    return report

@@ -1,0 +1,71 @@
+"""Human-readable campaign reporting (tables, status, quarantine).
+
+Everything here renders strings from the deterministic aggregate and
+the sweeper's journal-derived state; the CLI prints them.  Kept apart
+from the engine so tests can assert on report text without running a
+sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .sweeper import ParamSweeper
+
+__all__ = ["format_table", "render_summary", "render_status"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width text table (numbers right-aligned)."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([
+            f"{v:.6g}" if isinstance(v, float) else str(v) for v in row
+        ])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    numeric = [
+        all(isinstance(r[i], (int, float)) for r in rows) if rows else False
+        for i in range(len(headers))
+    ]
+
+    def fmt(line, head=False):
+        out = []
+        for i, cell in enumerate(line):
+            pad = cell.rjust if (numeric[i] and not head) else cell.ljust
+            out.append(pad(widths[i]))
+        return "  ".join(out).rstrip()
+
+    lines = [fmt(cells[0], head=True), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in cells[1:])
+    return "\n".join(lines)
+
+
+def render_summary(agg: dict) -> str:
+    """The per-group summary table for a campaign aggregate."""
+    header = (f"campaign {agg['campaign']}: {agg['n_done']}/{agg['n_combos']} "
+              f"combos done, {len(agg['skipped'])} quarantined")
+    rows = [
+        (g["app"], g["n_nodes"], g["count"],
+         g["mean_wall_time"], g["min_wall_time"], g["max_wall_time"],
+         g["mean_n_redistributions"], g["mean_n_drops"])
+        for g in agg["groups"]
+    ]
+    table = format_table(
+        ("app", "nodes", "combos", "mean_wall", "min_wall", "max_wall",
+         "mean_redist", "mean_drops"),
+        rows,
+    )
+    return f"{header}\n{table}" if rows else header
+
+
+def render_status(sweeper: ParamSweeper) -> str:
+    """Sweep progress plus the quarantine list with last errors."""
+    lines = [f"campaign {sweeper.space.name} in {sweeper.dir}",
+             sweeper.stats().render()]
+    quarantined = sweeper.quarantined()
+    if quarantined:
+        lines.append("quarantined combos (retry budget exhausted):")
+        for slug, tries, error in quarantined:
+            lines.append(f"  {slug}  [{tries} tries]")
+            lines.append(f"    last error: {error}")
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Parameter-space declaration and deterministic expansion.
+
+A campaign declares its space as ``{param_name: [values...]}`` (the
+execo ``sweep()`` idiom).  :func:`expand` takes the cartesian product
+in a deterministic order — parameters sorted by name, values in
+declaration order — so the combo list, the slugs, and therefore the
+sweep journal and the aggregate are stable across hosts and runs.
+
+Each combo is identified by its *slug*, a filesystem-safe
+``key=value`` rendering of the full parameter assignment.  The slug is
+the combo's identity everywhere: in the journal, in per-combo result
+files, and in repro command lines.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Union
+
+from ..errors import ConfigError
+
+__all__ = ["ParamSpace", "Combo", "combo_slug", "expand", "load_space"]
+
+#: parameter values are scalars so combos stay JSON- and slug-safe
+Scalar = Union[str, int, float, bool]
+
+#: characters that may not appear in slug fragments (path separators,
+#: whitespace, shell metacharacters that would break repro lines)
+_SLUG_BAD = set(" /\\\n\t\r'\"`$;|&<>")
+
+
+def _slug_fragment(value: Scalar) -> str:
+    text = str(value)
+    if not text or any(c in _SLUG_BAD for c in text):
+        raise ConfigError(f"parameter value {value!r} is not slug-safe")
+    return text
+
+
+def combo_slug(params: Mapping[str, Scalar]) -> str:
+    """Canonical identity of a parameter assignment: ``k=v`` pairs,
+    sorted by key, joined with ``,``."""
+    return ",".join(
+        f"{k}={_slug_fragment(v)}" for k, v in sorted(params.items())
+    )
+
+
+@dataclass(frozen=True)
+class Combo:
+    """One point of the parameter space."""
+
+    params: tuple  # sorted ((key, value), ...) pairs — hashable
+
+    @property
+    def slug(self) -> str:
+        return combo_slug(dict(self.params))
+
+    def as_dict(self) -> dict:
+        return dict(self.params)
+
+    @staticmethod
+    def from_dict(params: Mapping[str, Scalar]) -> "Combo":
+        return Combo(tuple(sorted(params.items())))
+
+
+class ParamSpace:
+    """A declared parameter space plus fixed (non-swept) defaults.
+
+    ``params`` maps parameter names to the list of values to sweep;
+    ``fixed`` holds single-valued parameters every combo shares (a
+    convenience so specs stay short).  Parameter names must not
+    collide between the two.
+    """
+
+    def __init__(
+        self,
+        params: Mapping[str, Sequence[Scalar]],
+        fixed: Mapping[str, Scalar] | None = None,
+        *,
+        name: str = "campaign",
+    ):
+        self.name = str(name)
+        self.params = {str(k): list(v) for k, v in params.items()}
+        self.fixed = {str(k): v for k, v in (fixed or {}).items()}
+        overlap = set(self.params) & set(self.fixed)
+        if overlap:
+            raise ConfigError(
+                f"parameters declared both swept and fixed: {sorted(overlap)}"
+            )
+        for key, values in self.params.items():
+            if not values:
+                raise ConfigError(f"parameter {key!r} has no values")
+            for v in values:
+                _slug_fragment(v)  # validate early
+        for v in self.fixed.values():
+            _slug_fragment(v)
+
+    def __len__(self) -> int:
+        n = 1
+        for values in self.params.values():
+            n *= len(values)
+        return n
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "params": self.params,
+            "fixed": self.fixed,
+        }
+
+    @staticmethod
+    def from_json(spec: Mapping) -> "ParamSpace":
+        try:
+            params = spec["params"]
+        except KeyError:
+            raise ConfigError("campaign spec has no 'params' object")
+        if not isinstance(params, Mapping) or not params:
+            raise ConfigError("'params' must be a non-empty object")
+        return ParamSpace(
+            params,
+            spec.get("fixed"),
+            name=spec.get("name", "campaign"),
+        )
+
+
+def expand(space: ParamSpace) -> list[Combo]:
+    """The full cartesian product, in deterministic order.
+
+    Keys are iterated sorted; within a key, values keep declaration
+    order.  Duplicate combos (possible when a value list repeats an
+    entry) are rejected — they would collide in the journal.
+    """
+    keys = sorted(space.params)
+    combos: list[Combo] = []
+    seen: set[str] = set()
+    for values in itertools.product(*(space.params[k] for k in keys)):
+        params = dict(space.fixed)
+        params.update(zip(keys, values))
+        combo = Combo.from_dict(params)
+        if combo.slug in seen:
+            raise ConfigError(f"duplicate combo in space: {combo.slug}")
+        seen.add(combo.slug)
+        combos.append(combo)
+    return combos
+
+
+def load_space(path: Union[str, pathlib.Path]) -> ParamSpace:
+    """Load a campaign spec file (JSON: ``{name, params, fixed}``)."""
+    p = pathlib.Path(path)
+    try:
+        spec = json.loads(p.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ConfigError(f"cannot read campaign spec {p}: {exc.strerror}")
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"campaign spec {p} is not valid JSON: {exc}")
+    return ParamSpace.from_json(spec)

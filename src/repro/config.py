@@ -150,6 +150,11 @@ class ClusterSpec:
     def with_nodes(self, n_nodes: int) -> "ClusterSpec":
         return replace(self, n_nodes=n_nodes)
 
+    def with_seed(self, seed: int) -> "ClusterSpec":
+        """The same cluster with a different RNG seed — how campaign
+        sweeps and ``--seed`` CLI flags derive per-run variants."""
+        return replace(self, seed=seed)
+
 
 @dataclass(frozen=True)
 class ResilienceSpec:

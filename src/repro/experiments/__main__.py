@@ -36,9 +36,10 @@ from .figure4 import APP_NAMES
 
 def _fig4(args) -> None:
     apps = tuple(args.apps.split(",")) if args.apps else APP_NAMES
-    print(format_figure4(run_figure4(apps=apps, scale=args.scale)))
+    print(format_figure4(run_figure4(apps=apps, scale=args.scale,
+                                     seed=args.seed)))
     if "cg" in apps and args.narrative:
-        n = cg_4node_narrative(scale=args.scale)
+        n = cg_4node_narrative(scale=args.scale, seed=args.seed)
         print(f"\n4-node CG narrative: dedicated={n.t_dedicated:.1f}s "
               f"no-adapt={n.t_noadapt:.1f}s dyn-mpi={n.t_dynmpi:.1f}s "
               f"shares={[round(s, 3) for s in n.shares]} "
@@ -46,15 +47,16 @@ def _fig4(args) -> None:
 
 
 def _fig5(args) -> None:
-    print(format_figure5(run_figure5(scale=args.scale)))
+    print(format_figure5(run_figure5(scale=args.scale, seed=args.seed)))
 
 
 def _fig6(args) -> None:
-    print(format_figure6(run_figure6(scale=args.scale, iters=args.iters)))
+    print(format_figure6(run_figure6(scale=args.scale, iters=args.iters,
+                                 seed=args.seed)))
 
 
 def _fig7(args) -> None:
-    print(format_figure7(run_figure7(scale=args.scale)))
+    print(format_figure7(run_figure7(scale=args.scale, seed=args.seed)))
 
 
 def _fig3(args) -> None:
@@ -86,6 +88,9 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", type=float, default=None,
                         help="linear problem scale in (0,1]; default: "
                              "DYNMPI_BENCH_SCALE or 1.0")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="cluster RNG seed for the figure runs "
+                             "(fig3/ablations are seed-free; default 0)")
     parser.add_argument("--apps", default="",
                         help="fig4 only: comma-separated app subset")
     parser.add_argument("--iters", type=int, default=120,

@@ -71,9 +71,15 @@ class Scenario:
     spec: RuntimeSpec = field(default_factory=RuntimeSpec)
     adaptive: bool = True
     load_script: Optional[LoadScript] = None
+    #: override for the cluster RNG seed (``--seed`` on the CLI and the
+    #: campaign engine thread through here); None keeps the spec's seed
+    seed: Optional[int] = None
 
     def run(self) -> AppResult:
-        cluster = Cluster(self.cluster_spec)
+        cluster_spec = self.cluster_spec
+        if self.seed is not None and self.seed != cluster_spec.seed:
+            cluster_spec = cluster_spec.with_seed(self.seed)
+        cluster = Cluster(cluster_spec)
         return run_program(
             cluster,
             self.program,

@@ -397,3 +397,45 @@ def test_cli_clean_and_dirty(tmp_path, capsys):
     assert main(["lint", str(dirty)]) == 1
     out = capsys.readouterr().out
     assert "DYN001" in out and "dirty.py:2" in out
+
+
+# ----------------------------------------------------------------------
+# DYN801: process-level parallelism outside repro.campaign
+# ----------------------------------------------------------------------
+
+def test_dyn801_fixture_findings():
+    src = (FIXTURES / "process_module.py").read_text()
+    findings = lint_source(src, "process_module.py", process_zone=True)
+    assert codes(findings) == ["DYN801"] * 3
+    assert "multiprocessing" in findings[0].message
+    assert "concurrent.futures" in findings[1].message
+    assert "subprocess" in findings[2].message
+    # the aliased import on the suppressed line must not be reported,
+    # and the whole file is clean outside the zone
+    assert lint_source(src, "process_module.py") == []
+
+
+def test_dyn801_zone_boundaries(tmp_path):
+    code = "import multiprocessing\n"
+    lib = tmp_path / "repro" / "runtime"
+    lib.mkdir(parents=True)
+    (lib / "mod.py").write_text(code)
+    camp = tmp_path / "repro" / "campaign"
+    camp.mkdir()
+    (camp / "engine.py").write_text(code)
+    outside = tmp_path / "tests"
+    outside.mkdir()
+    (outside / "mod.py").write_text(code)
+    assert codes(lint_file(lib / "mod.py")) == ["DYN801"]
+    assert lint_file(camp / "engine.py") == []       # the sanctioned home
+    assert lint_file(outside / "mod.py") == []       # tests are free
+
+
+def test_dyn801_suppression_is_dyncamp_not_dynsan():
+    ok = lint_source("import subprocess  # dyncamp: ok\n",
+                     process_zone=True)
+    assert ok == []
+    # dynsan's own marker does not silence a dyncamp-owned rule
+    wrong = lint_source("import subprocess  # dynsan: ok\n",
+                        process_zone=True)
+    assert codes(wrong) == ["DYN801"]
