@@ -1,0 +1,79 @@
+"""Perf-smoke gate for the dynkern event engine.
+
+Compares a fresh ``DYNMPI_KERNEL_SMOKE=1`` run of
+``bench_kernel_events.py`` (which writes
+``results/BENCH_kernel_events_smoke.json``) against the checked-in
+full-grid baseline ``results/BENCH_kernel_events.json`` at the shared
+grid cells, and fails when the measured calendar/reference speedup
+falls below half the baseline's — i.e. when the two-lane scheduler
+regressed by more than 2x relative to the preserved pre-dynkern
+engine.  Gating on the engine *ratio* rather than wall-clock keeps the
+check machine-independent: both engines run on the same host, so a
+slow CI runner scales numerator and denominator alike.
+
+Only workloads whose per-cell parameters are identical in smoke and
+full runs are gated (``churn`` and ``removal``; the storm workload
+shrinks its exchange count in smoke mode, so its cells are not
+comparable across the two files).
+
+Usage (what the CI kernel-smoke job runs)::
+
+    DYNMPI_KERNEL_SMOKE=1 python -m pytest benchmarks/bench_kernel_events.py -q
+    python benchmarks/check_kernel_regression.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+BASELINE = RESULTS / "BENCH_kernel_events.json"
+SMOKE = RESULTS / "BENCH_kernel_events_smoke.json"
+ALLOWED_REGRESSION = 2.0
+#: workloads with identical cell parameters in smoke and full runs
+GATED_WORKLOADS = ("churn", "removal")
+
+
+def _speedups(path: pathlib.Path) -> dict:
+    cells = json.loads(path.read_text())["data"]
+    by_cell: dict[tuple, dict[str, float]] = {}
+    for c in cells:
+        if c["workload"] not in GATED_WORKLOADS:
+            continue
+        key = (c["workload"], c["n_nodes"])
+        by_cell.setdefault(key, {})[c["engine"]] = c["events_per_sec"]
+    return {
+        key: eng["calendar"] / eng["reference"]
+        for key, eng in by_cell.items()
+        if "calendar" in eng and "reference" in eng
+    }
+
+
+def main() -> int:
+    for path in (BASELINE, SMOKE):
+        if not path.exists():
+            print(f"kernel-regression: missing {path}", file=sys.stderr)
+            return 2
+    baseline = _speedups(BASELINE)
+    smoke = _speedups(SMOKE)
+    shared = sorted(set(baseline) & set(smoke))
+    if not shared:
+        print("kernel-regression: no shared grid cells between baseline "
+              "and smoke run", file=sys.stderr)
+        return 2
+    failed = False
+    for cell in shared:
+        floor = baseline[cell] / ALLOWED_REGRESSION
+        status = "ok" if smoke[cell] >= floor else "REGRESSED"
+        failed |= status == "REGRESSED"
+        workload, n_nodes = cell
+        print(f"kernel-regression: {workload} n_nodes={n_nodes} "
+              f"speedup {smoke[cell]:.2f}x vs baseline {baseline[cell]:.2f}x "
+              f"(floor {floor:.2f}x) {status}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

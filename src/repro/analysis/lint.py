@@ -49,6 +49,16 @@ DYN801   process-level parallelism in library code (under ``repro``)
          deterministically.  Suppressed with ``# dyncamp: ok``
          (not ``# dynsan: ok``) so an exemption names the
          subsystem that owns the rule
+DYN901   event-queue manipulation in library code (under ``repro``)
+         outside the kernel modules (``simcluster/kernel*.py``):
+         importing ``heapq`` or touching a simulator's ``._heap``.
+         The dynkern engine owns the event queue's invariants — the
+         two-lane ready/heap split, the ``(time, seq)`` total order
+         and tombstone accounting — and out-of-band pushes or pops
+         silently corrupt them; go through ``schedule`` /
+         ``call_soon`` / ``Timer.cancel``.  Suppressed with
+         ``# dynkern: ok`` (not ``# dynsan: ok``) so an exemption
+         names the subsystem that owns the rule
 =======  ==========================================================
 
 Suppress a finding by putting ``# dynsan: ok`` on the offending line.
@@ -146,6 +156,20 @@ _PROCESS_MODULES = frozenset({"multiprocessing", "concurrent", "subprocess"})
 #: exemption is spelled ``# dyncamp: ok``
 CAMPAIGN_SUPPRESS_MARK = "dyncamp: ok"
 
+#: library zone where DYN901 (event-queue manipulation) applies; the
+#: kernel modules are the one sanctioned home.  ``kernel*.py`` by
+#: prefix so the reference engine (kernel_reference.py) — which *is*
+#: a heap — stays exempt alongside the calendar engine
+KERNEL_ZONE = "repro"
+KERNEL_HOME_DIR = "simcluster"
+KERNEL_HOME_PREFIX = "kernel"
+
+#: suppression marker for DYN901 — the rule belongs to dynkern
+KERNEL_SUPPRESS_MARK = "dynkern: ok"
+
+#: the event-queue attribute DYN901 guards against out-of-band access
+_KERNEL_HEAP_ATTR = "_heap"
+
 #: wallclock reads DYN601 flags in library code (DYN101's time-family
 #: subset; entropy stays DYN101-only — it is a determinism bug, not an
 #: instrumentation one)
@@ -208,7 +232,8 @@ class _Linter(ast.NodeVisitor):
                  fault_injection_zone: bool = False,
                  row_membership_zone: bool = False,
                  instrumentation_zone: bool = False,
-                 process_zone: bool = False):
+                 process_zone: bool = False,
+                 kernel_zone: bool = False):
         self.path = path
         self.lines = source.splitlines()
         self.zone = deterministic_zone
@@ -216,6 +241,7 @@ class _Linter(ast.NodeVisitor):
         self.row_zone = row_membership_zone
         self.inst_zone = instrumentation_zone
         self.process_zone = process_zone
+        self.kernel_zone = kernel_zone
         self.findings: list[LintFinding] = []
         #: local alias -> real module name (import numpy as np)
         self.aliases: dict[str, str] = {}
@@ -233,7 +259,8 @@ class _Linter(ast.NodeVisitor):
         return False
 
     def _emit(self, node: ast.AST, code: str, message: str) -> None:
-        mark = CAMPAIGN_SUPPRESS_MARK if code == "DYN801" else "dynsan: ok"
+        mark = {"DYN801": CAMPAIGN_SUPPRESS_MARK,
+                "DYN901": KERNEL_SUPPRESS_MARK}.get(code, "dynsan: ok")
         if not self._suppressed(node, mark):
             self.findings.append(LintFinding(
                 self.path, node.lineno, node.col_offset, code, message
@@ -246,6 +273,14 @@ class _Linter(ast.NodeVisitor):
                        f"library code; the simulator must stay "
                        f"single-process — fan out at the campaign layer "
                        f"(repro.campaign) instead")
+
+    def _check_kernel_import(self, node: ast.AST, module: str) -> None:
+        if self.kernel_zone and module.split(".")[0] == "heapq":
+            self._emit(node, "DYN901",
+                       f"`{module}` manipulates an event queue outside the "
+                       f"kernel (simcluster/kernel*.py), which owns the "
+                       f"(time, seq) order and tombstone accounting; "
+                       f"schedule through the Simulator API instead")
 
     def _resolve(self, dotted: Optional[str]) -> Optional[str]:
         """Rewrite the leading alias of a dotted path to its module."""
@@ -274,6 +309,7 @@ class _Linter(ast.NodeVisitor):
             self.aliases[alias.asname or alias.name.split(".")[0]] = \
                 alias.name.split(".")[0]
             self._check_process_import(node, alias.name)
+            self._check_kernel_import(node, alias.name)
             if self.zone and alias.name.split(".")[0] == "random":
                 self._emit(node, "DYN101",
                            "the `random` module is nondeterministic state "
@@ -284,6 +320,7 @@ class _Linter(ast.NodeVisitor):
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.module:
             self._check_process_import(node, node.module)
+            self._check_kernel_import(node, node.module)
         if self.zone and node.module and node.module.split(".")[0] == "random":
             self._emit(node, "DYN101",
                        "importing from `random` breaks determinism; use the "
@@ -310,6 +347,18 @@ class _Linter(ast.NodeVisitor):
             self._emit(node, "DYN002",
                        f"`yield {desc}` hands the kernel a generator object "
                        f"instead of driving it; use `yield from`")
+        self.generic_visit(node)
+
+    # -- DYN901: out-of-band event-queue access -------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self.kernel_zone and node.attr == _KERNEL_HEAP_ATTR:
+            base = _dotted_name(node.value)
+            self._emit(node, "DYN901",
+                       f"`{base or '<expr>'}.{_KERNEL_HEAP_ATTR}` reaches "
+                       f"into the kernel's event queue from outside "
+                       f"simcluster/kernel*.py; out-of-band pushes/pops "
+                       f"corrupt the two-lane invariants — use schedule/"
+                       f"call_soon/Timer.cancel")
         self.generic_visit(node)
 
     # -- DYN401: per-row row-membership construction --------------------
@@ -496,6 +545,18 @@ def _in_process_zone(path: pathlib.Path) -> bool:
     return PROCESS_ZONE in parts and PROCESS_EXEMPT_ZONE not in parts
 
 
+def _in_kernel_zone(path: pathlib.Path) -> bool:
+    """Library code (under ``repro``) outside the kernel modules: the
+    only place DYN901 applies.  Tests and benchmarks may poke at heaps
+    freely (the bounded-heap regression test must)."""
+    if KERNEL_ZONE not in path.parts:
+        return False
+    return not (
+        KERNEL_HOME_DIR in path.parts
+        and path.name.startswith(KERNEL_HOME_PREFIX)
+    )
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -505,11 +566,12 @@ def lint_source(
     row_membership_zone: bool = False,
     instrumentation_zone: bool = False,
     process_zone: bool = False,
+    kernel_zone: bool = False,
 ) -> list[LintFinding]:
     """Lint python ``source``; ``deterministic_zone`` enables DYN101,
     ``fault_injection_zone`` enables DYN301, ``row_membership_zone``
     enables DYN401, ``instrumentation_zone`` enables DYN601,
-    ``process_zone`` enables DYN801."""
+    ``process_zone`` enables DYN801, ``kernel_zone`` enables DYN901."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -519,7 +581,8 @@ def lint_source(
                      fault_injection_zone=fault_injection_zone,
                      row_membership_zone=row_membership_zone,
                      instrumentation_zone=instrumentation_zone,
-                     process_zone=process_zone)
+                     process_zone=process_zone,
+                     kernel_zone=kernel_zone)
     linter.visit(tree)
     return sorted(linter.findings, key=lambda f: (f.path, f.line, f.col))
 
@@ -533,6 +596,7 @@ def lint_file(path: pathlib.Path) -> list[LintFinding]:
         row_membership_zone=_in_row_membership_zone(path),
         instrumentation_zone=_in_instrumentation_zone(path),
         process_zone=_in_process_zone(path),
+        kernel_zone=_in_kernel_zone(path),
     )
 
 

@@ -156,6 +156,29 @@ class PhasePattern:
     ) -> tuple[float, float]:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def comm_cost_all(
+        self,
+        n: int,
+        row_counts: Sequence[int],
+        model: CommCostModel,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`comm_cost` over all ``n`` relative ranks.
+
+        The built-in patterns override this to compute the active set
+        once instead of per rank (the per-rank loop is O(n^2) and
+        dominated balancing profiles at large n); every override
+        assigns the *same scalar expressions* ``comm_cost`` would, so
+        results are bit-for-bit identical.  The default drives the
+        per-rank method, keeping external subclasses correct.
+        """
+        cpu = np.zeros(n)
+        wire = np.zeros(n)
+        for rel in range(n):
+            c, x = self.comm_cost(rel, row_counts, model)
+            cpu[rel] = c
+            wire[rel] = x
+        return cpu, wire
+
     def name(self) -> str:
         return type(self).__name__
 
@@ -181,6 +204,22 @@ class NearestNeighbor(PhasePattern):
         wire = model.wire_time(nbytes, 1)  # exchanges overlap; one hop exposed
         return cpu, wire
 
+    def comm_cost_all(self, n, row_counts, model):
+        cpu = np.zeros(n)
+        wire = np.zeros(n)
+        active = [i for i, c in enumerate(row_counts) if c > 0]
+        if len(active) < 2:
+            return cpu, wire
+        nbytes = self.halo_rows * self.row_nbytes
+        # same factored expressions as comm_cost: (work * 2) * neighbors
+        one_side = model.cpu_work(nbytes, 1) * 2
+        wire_one = model.wire_time(nbytes, 1)
+        last = len(active) - 1
+        for pos, rel in enumerate(active):
+            cpu[rel] = one_side * 1 if pos in (0, last) else one_side * 2
+            wire[rel] = wire_one
+        return cpu, wire
+
 
 @dataclass(frozen=True)
 class RingAllgather(PhasePattern):
@@ -198,6 +237,21 @@ class RingAllgather(PhasePattern):
         # each node sends and receives (n-1) blocks totalling ~other_bytes
         cpu = 2 * model.cpu_work(other_bytes, n - 1)
         wire = model.wire_time(other_bytes, n - 1)
+        return cpu, wire
+
+    def comm_cost_all(self, n, row_counts, model):
+        cpu = np.zeros(n)
+        wire = np.zeros(n)
+        active = [i for i, c in enumerate(row_counts) if c > 0]
+        na = len(active)
+        if na < 2:
+            return cpu, wire
+        other_bytes = self.total_nbytes * (na - 1) / na
+        cpu_v = 2 * model.cpu_work(other_bytes, na - 1)
+        wire_v = model.wire_time(other_bytes, na - 1)
+        for rel in active:
+            cpu[rel] = cpu_v
+            wire[rel] = wire_v
         return cpu, wire
 
 
@@ -218,8 +272,26 @@ class ScalarAllreduce(PhasePattern):
         wire = self.count * rounds * model.wire_time(self.nbytes, 1)
         return cpu, wire
 
+    def comm_cost_all(self, n, row_counts, model):
+        cpu = np.zeros(n)
+        wire = np.zeros(n)
+        active = [i for i, c in enumerate(row_counts) if c > 0]
+        na = len(active)
+        if na < 2:
+            return cpu, wire
+        rounds = 2 * int(np.ceil(np.log2(na)))
+        cpu_v = self.count * rounds * model.cpu_work(self.nbytes, 1)
+        wire_v = self.count * rounds * model.wire_time(self.nbytes, 1)
+        for rel in active:
+            cpu[rel] = cpu_v
+            wire[rel] = wire_v
+        return cpu, wire
+
 
 @dataclass(frozen=True)
 class NoComm(PhasePattern):
     def comm_cost(self, rel, row_counts, model):
         return 0.0, 0.0
+
+    def comm_cost_all(self, n, row_counts, model):
+        return np.zeros(n), np.zeros(n)

@@ -120,6 +120,11 @@ class DynMPIJob:
         self.events: list[RuntimeEvent] = self.obs.adaptations
         self.contexts: list["DynMPI"] = []
         self._groups: dict[tuple, Group] = {}
+        #: shared needed-map memo (see RankRuntime._needed).  Every
+        #: rank derives the identical plan from identical inputs — the
+        #: Section 4.4 no-negotiation property — so the group computes
+        #: it once instead of n times (O(n^2) at 1024 ranks otherwise)
+        self._needed_cache: dict = {}
         self._launched = False
         #: heartbeat crash detector (repro.resilience); None unless a
         #: ResilienceSpec is attached to the runtime spec
@@ -928,7 +933,24 @@ class DynMPI:
     # ------------------------------------------------------------------
     def _needed(self, bounds) -> list[dict[str, IntervalSet]]:
         array_rows = {name: arr.n_rows for name, arr in self.arrays.items()}
-        return needed_map(self.phases, bounds, array_rows)
+        # memoized on the job: all ranks of a collective epoch pass
+        # identical inputs (DRSDs are frozen dataclasses, so the key
+        # is by value — ranks with divergent registrations would miss,
+        # not collide).  The value is shared, which is safe because
+        # IntervalSet is immutable and callers only read the map.
+        key = (
+            tuple(bounds),
+            tuple((pid, tuple(ph.accesses))
+                  for pid, ph in sorted(self.phases.items())),
+            tuple(sorted(array_rows.items())),
+        )
+        cache = self.job._needed_cache
+        hit = cache.get(key)
+        if hit is None:
+            if len(cache) >= 8:
+                cache.clear()
+            hit = cache[key] = needed_map(self.phases, bounds, array_rows)
+        return hit
 
     def _patterns(self) -> list[PhasePattern]:
         return [p.pattern for p in self.phases.values()]

@@ -23,7 +23,7 @@ from typing import Any, Generator, Optional, Sequence
 
 from ..errors import MPIError
 from .comm import Endpoint
-from .datatypes import ReduceOp, check_op
+from .datatypes import HEADER_BYTES, ReduceOp, check_op, payload_nbytes
 from .group import Group
 
 __all__ = [
@@ -258,12 +258,27 @@ def allgather_dissemination(ep: Endpoint, group: Group, value: Any) -> Generator
     tag = group.next_tag(me)
     _san_enter(ep, group, tag, "allgather_dissemination")
     have: dict[int, Any] = {me: value}
+    # wire size of dict(have), tracked incrementally: sizing the whole
+    # dict with payload_nbytes every round costs O(n log n) recursive
+    # calls across the group and dominated large-scale profiles.  A
+    # dict item with an int key contributes exactly
+    # payload_nbytes(v) + 24 - HEADER_BYTES (see datatypes.py), so the
+    # running total stays byte-exact with the full recomputation.
+    size = payload_nbytes(value) + 24
     k = 1
     while k < n:
         dst = group.world((me + k) % n)
         src = group.world((me - k) % n)
-        incoming, _ = yield from ep.sendrecv(dst, tag, dict(have), src, tag)
-        have.update(incoming)
+        incoming, _ = yield from ep.sendrecv(
+            dst, tag, dict(have), src, tag, nbytes=size
+        )
+        for key, v in incoming.items():
+            # overlaps happen for non-power-of-two n; a replayed key
+            # carries the same origin value, so skipping keeps the
+            # size total exact
+            if key not in have:
+                have[key] = v
+                size += payload_nbytes(v) + 24 - HEADER_BYTES
         k *= 2
     if len(have) != n:
         raise MPIError(f"dissemination allgather incomplete: {len(have)}/{n}")

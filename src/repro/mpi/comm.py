@@ -157,6 +157,38 @@ class SimComm:
         #: distinct sources — each one is a matching the MPI standard
         #: leaves undefined (the dynrace DYN701 condition, observed)
         self.match_ties = 0
+        #: recycled eager envelopes (slab reuse): blocking receives
+        #: return consumed plain envelopes here and the send paths
+        #: reuse them, saving an allocation per message on the hot
+        #: path.  Disabled under the sanitizer, which keys state on
+        #: envelope identity.
+        self._env_pool: list[_Envelope] = []
+
+    def _new_envelope(self, src: int, dst: int, tag: int, payload: Any,
+                      nbytes: int) -> _Envelope:
+        pool = self._env_pool
+        if pool:
+            env = pool.pop()
+            env.src = src
+            env.dst = dst
+            env.tag = tag
+            env.payload = payload
+            env.nbytes = nbytes
+            env.rendezvous = False
+            env.data_ready = True
+            env.data_signal = None
+            env.sent_signal = None
+            env.seq = 0
+            env.poison = False
+            return env
+        return _Envelope(src, dst, tag, payload, nbytes)
+
+    def _release_envelope(self, env: _Envelope) -> None:
+        """Recycle a fully-consumed plain (eager, non-poison) envelope.
+        Callers must have extracted payload and status already."""
+        if len(self._env_pool) < 256:
+            env.payload = None
+            self._env_pool.append(env)
 
     def endpoint(self, rank: int) -> "Endpoint":
         if not (0 <= rank < self.size):
@@ -329,7 +361,7 @@ class Endpoint:
             raise RankFailedError(dest, "send to")
         payload = _detach(payload)
 
-        env = _Envelope(self.rank, dest, tag, payload, nbytes)
+        env = comm._new_envelope(self.rank, dest, tag, payload, nbytes)
         env.seq = next(comm._seq)
         san = comm.san
         yield Compute(comm.net.cpu_cost(nbytes))
@@ -347,8 +379,8 @@ class Endpoint:
         # the data transfer has completed.
         env.rendezvous = True
         env.data_ready = False
-        env.data_signal = comm.sim.signal(f"rdv-data:{self.rank}->{dest}:{tag}")
-        env.sent_signal = comm.sim.signal(f"rdv-sent:{self.rank}->{dest}:{tag}")
+        env.data_signal = comm.sim.signal("rdv-data")
+        env.sent_signal = comm.sim.signal("rdv-sent")
         if san is not None:
             san.on_send(env)
         comm.net.transmit(
@@ -417,7 +449,7 @@ class Endpoint:
                 if san is not None:
                     san.on_unblock(self.rank)
             else:
-                sig = comm.sim.signal(f"recv:{self.rank}")
+                sig = comm.sim.signal("recv")
                 pr = _PendingRecv(source, tag, sig)
                 comm._pending[self.rank].append(pr)
                 if san is not None:
@@ -431,7 +463,10 @@ class Endpoint:
         if env.rendezvous and not env.data_ready:
             yield from self._pull_rendezvous(env)
         yield Compute(comm.net.cpu_cost(env.nbytes))
-        return env.payload, Status(env.src, env.tag, env.nbytes)
+        payload, status = env.payload, Status(env.src, env.tag, env.nbytes)
+        if san is None and not env.rendezvous:
+            comm._release_envelope(env)
+        return payload, status
 
     def _pull_rendezvous(self, env: _Envelope) -> Generator:
         """CTS back to the sender, then wait for the bulk data."""
@@ -496,7 +531,7 @@ class Endpoint:
             return req
         nbytes = payload_nbytes(payload) if nbytes is None else int(nbytes)
         payload = _detach(payload)
-        env = _Envelope(self.rank, dest, tag, payload, nbytes)
+        env = comm._new_envelope(self.rank, dest, tag, payload, nbytes)
         env.seq = next(comm._seq)
         if comm.san is not None:
             comm.san.on_send(env)
@@ -575,7 +610,7 @@ class Endpoint:
         if env is not None:
             finish(env)
         else:
-            sig = comm.sim.signal(f"irecv:{self.rank}")
+            sig = comm.sim.signal("irecv")
             pr = _PendingRecv(source, tag, sig)
             comm._pending[self.rank].append(pr)
             if comm.san is not None:

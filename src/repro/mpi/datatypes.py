@@ -16,9 +16,29 @@ __all__ = ["payload_nbytes", "SUM", "MAX", "MIN", "PROD", "LAND", "LOR", "Reduce
 #: bytes charged for a message's envelope/header
 HEADER_BYTES = 64
 
+#: plain Python scalar: header + one 8-byte word (the isinstance chain
+#: below yields the same value; this just skips it on the hot path)
+_SCALAR_NBYTES = HEADER_BYTES + 8
+
 
 def payload_nbytes(payload) -> int:
     """Estimate the on-wire size of ``payload`` in bytes."""
+    tp = type(payload)
+    if tp is int or tp is float or tp is bool:
+        return _SCALAR_NBYTES
+    if tp is tuple or tp is list:
+        # hot path for the runtime's (scalar, scalar, ...) load reports:
+        # an explicit loop over exact-type elements sizes a flat tuple
+        # without a generator frame per element (integer arithmetic, so
+        # the total is identical to the generic branch below)
+        total = HEADER_BYTES
+        for x in payload:
+            xt = type(x)
+            if xt is int or xt is float or xt is bool:
+                total += 16
+            else:
+                total += payload_nbytes(x) - HEADER_BYTES + 8
+        return total
     if payload is None:
         return HEADER_BYTES
     if isinstance(payload, np.ndarray):

@@ -66,13 +66,15 @@ class Job:
     continuation chain).
     """
 
-    __slots__ = ("proc", "remaining", "callback", "cancelled",
+    __slots__ = ("proc", "remaining", "callback", "cb_arg", "cancelled",
                  "allowed", "used_before", "slice_count", "boost_time")
 
-    def __init__(self, proc, remaining: float, callback: Optional[Callable[[], None]]):
+    def __init__(self, proc, remaining: float,
+                 callback: Optional[Callable[..., None]], cb_arg=None):
         self.proc = proc
         self.remaining = remaining
         self.callback = callback
+        self.cb_arg = cb_arg  # posted with the callback when not None
         self.cancelled = False
         self.allowed: Optional[float] = None
         self.used_before = 0.0
@@ -109,7 +111,7 @@ class _CPUBase:
         return len(self._bg_jobs)
 
     # -- interface --------------------------------------------------------
-    def submit(self, proc, work: float, callback) -> Job:  # pragma: no cover
+    def submit(self, proc, work: float, callback, cb_arg=None) -> Job:  # pragma: no cover
         raise NotImplementedError
 
     def cancel(self, job: Job) -> None:  # pragma: no cover
@@ -159,9 +161,9 @@ class RoundRobinCPU(_CPUBase):
         self.n_wake_boosts = 0
 
     # -- public -----------------------------------------------------------
-    def submit(self, proc, work: float, callback) -> Job:
-        job = Job(proc, work, callback)
-        _set_state(proc, ProcState.READY)
+    def submit(self, proc, work: float, callback, cb_arg=None) -> Job:
+        job = Job(proc, work, callback, cb_arg)
+        proc.state = ProcState.READY
         cont = self._cont
         now = self.sim.now
         if (
@@ -273,7 +275,7 @@ class RoundRobinCPU(_CPUBase):
         job.slice_count += 1
         self._current = job
         self._slice_start = self.sim.now
-        _set_state(job.proc, ProcState.RUNNING)
+        job.proc.state = ProcState.RUNNING
         if not self._queue and math.isfinite(job.remaining):
             # fast path: run to completion unless preempted
             self._slice_long = True
@@ -330,16 +332,17 @@ class RoundRobinCPU(_CPUBase):
         job = self._current
         if job is None:
             return 0.0
-        elapsed = self.sim.now - self._slice_start
+        now = self.sim.now
+        elapsed = now - self._slice_start
         if elapsed > 0:
             done = elapsed * self.speed
             job.remaining = max(0.0, job.remaining - done)
-            _add_cpu_time(job.proc, elapsed)
+            job.proc.cpu_time += elapsed
             self._ema_add(job.proc, elapsed)
             self.busy_time += elapsed
             if job.allowed is not None:
                 job.allowed = max(0.0, job.allowed - elapsed)
-        self._slice_start = self.sim.now
+        self._slice_start = now
         return elapsed
 
     def _preempt_current(self, insert_pos: int = 0) -> None:
@@ -355,7 +358,7 @@ class RoundRobinCPU(_CPUBase):
         if job.remaining <= _EPS * self.speed:
             self._complete(job, elapsed)
         else:
-            _set_state(job.proc, ProcState.READY)
+            job.proc.state = ProcState.READY
             job.allowed = None  # fresh quantum on its next dispatch
             # preempted job keeps its turn (or yields to a waking one)
             self._queue.insert(min(insert_pos, len(self._queue)), job)
@@ -379,7 +382,7 @@ class RoundRobinCPU(_CPUBase):
             self.sim.call_soon(self._deferred_start)
             return
         self.n_context_switches += 1
-        _set_state(job.proc, ProcState.READY)
+        job.proc.state = ProcState.READY
         job.allowed = None  # fresh quantum on its next dispatch
         self._queue.append(job)
         self._start_next()
@@ -389,7 +392,7 @@ class RoundRobinCPU(_CPUBase):
             self._start_next()
 
     def _complete(self, job: Job, last_slice_elapsed: float) -> None:
-        _set_state(job.proc, ProcState.BLOCKED)
+        job.proc.state = ProcState.BLOCKED
         self._last_done = (job.proc, self.sim.now)
         used = last_slice_elapsed
         if job.slice_count == 1:
@@ -400,7 +403,10 @@ class RoundRobinCPU(_CPUBase):
             self._cont = None
         if job.callback is not None:
             # Defer so completion ordering matches event ordering.
-            self.sim.call_soon(job.callback)
+            if job.cb_arg is None:
+                self.sim.call_soon(job.callback)
+            else:
+                self.sim._post1(job.callback, job.cb_arg)
 
 
 class ProcessorSharingCPU(_CPUBase):
@@ -412,10 +418,10 @@ class ProcessorSharingCPU(_CPUBase):
         self._timer: Optional[Timer] = None
         self._last = 0.0
 
-    def submit(self, proc, work: float, callback) -> Job:
+    def submit(self, proc, work: float, callback, cb_arg=None) -> Job:
         self._advance()
-        job = Job(proc, work, callback)
-        _set_state(proc, ProcState.RUNNING)
+        job = Job(proc, work, callback, cb_arg)
+        proc.state = ProcState.RUNNING
         self._jobs.append(job)
         self._reschedule()
         return job
@@ -431,8 +437,9 @@ class ProcessorSharingCPU(_CPUBase):
         return list(self._jobs)
 
     def _advance(self) -> None:
-        elapsed = self.sim.now - self._last
-        self._last = self.sim.now
+        now = self.sim.now
+        elapsed = now - self._last
+        self._last = now
         n = len(self._jobs)
         if elapsed <= 0 or n == 0:
             return
@@ -440,7 +447,7 @@ class ProcessorSharingCPU(_CPUBase):
         share = elapsed / n
         for job in self._jobs:
             job.remaining = max(0.0, job.remaining - rate * elapsed)
-            _add_cpu_time(job.proc, share)
+            job.proc.cpu_time += share
         self.busy_time += elapsed
 
     def _reschedule(self) -> None:
@@ -461,9 +468,12 @@ class ProcessorSharingCPU(_CPUBase):
         done = [j for j in self._jobs if j.remaining <= _EPS * self.speed]
         for job in done:
             self._jobs.remove(job)
-            _set_state(job.proc, ProcState.BLOCKED)
+            job.proc.state = ProcState.BLOCKED
             if job.callback is not None:
-                self.sim.call_soon(job.callback)
+                if job.cb_arg is None:
+                    self.sim.call_soon(job.callback)
+                else:
+                    self.sim._post1(job.callback, job.cb_arg)
         self._reschedule()
 
 
@@ -474,11 +484,3 @@ def make_cpu(sim: Simulator, discipline: str, speed: float, quantum: float, rng=
     if discipline == "ps":
         return ProcessorSharingCPU(sim, speed, quantum)
     raise SimulationError(f"unknown CPU discipline {discipline!r}")
-
-
-def _set_state(proc, state: str) -> None:
-    proc.state = state
-
-
-def _add_cpu_time(proc, seconds: float) -> None:
-    proc.cpu_time += seconds

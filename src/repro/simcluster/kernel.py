@@ -1,6 +1,6 @@
 """Discrete-event simulation kernel.
 
-The kernel owns virtual time and an event heap.  Simulated processes
+The kernel owns virtual time and the event queue.  Simulated processes
 are Python generators that yield :mod:`~repro.simcluster.syscalls`
 request objects; the kernel services each request and resumes the
 generator with the result.  CPU scheduling itself lives in
@@ -9,18 +9,37 @@ process and wake it later.
 
 Design notes
 ------------
-* Events are ``(time, seq, callback)`` triples; ``seq`` is a global
+* Events are ``(time, seq)``-ordered callbacks; ``seq`` is a global
   monotone counter so simultaneous events run in schedule order and the
   simulation is fully deterministic.
+* **Two-lane scheduling** (dynkern): most events are zero-delay resumes
+  — deferred completions, signal wakeups, spawn kicks — so the default
+  :class:`Simulator` keeps two structures: an O(1) FIFO *ready lane*
+  (a deque) for events scheduled at the current instant, and a heap for
+  timed events.  The lanes merge by exact ``(time, seq)`` comparison,
+  so the execution order is identical to a single global heap (the
+  original single-heap engine is preserved verbatim as
+  :class:`~repro.simcluster.kernel_reference.ReferenceSimulator` and
+  the equivalence is property-tested byte-for-byte on exported traces).
+  Internal hot paths post pre-bound callbacks (:meth:`Simulator._post1`
+  /``_post2``) instead of allocating a closure per event.
 * Cancellation is done with tombstones (:class:`Timer` handles), the
-  standard heapq idiom, so cancelling is O(1).
-* Deadlock detection: if the heap drains while registered processes
+  standard heapq idiom, so cancelling is O(1).  The simulator counts
+  tombstones still sitting in the heap and **compacts** — filters and
+  re-heapifies in place — when more than half the heap is cancelled
+  (and it is past a small size floor), so heartbeat-style
+  schedule/cancel churn can no longer grow the heap without bound.
+* Deadlock detection: if the queue drains while registered processes
   are still blocked, :class:`~repro.errors.DeadlockError` is raised
   listing them — the simulated analogue of a hung MPI job.
+* Engine selection: :func:`make_simulator` picks the engine from an
+  explicit argument, else ``DYNMPI_KERNEL`` (``calendar`` |
+  ``reference``), defaulting to ``calendar``; clusters thread
+  :attr:`repro.config.ClusterSpec.kernel` through it.
 * Schedule perturbation (:class:`Perturb`, ``DYNMPI_PERTURB=<seed>``)
   flips tie-breaks that real MPI leaves *undefined* — today the choice
   among queued wildcard-receive candidates from distinct sources
-  (see :meth:`repro.mpi.comm.SimComm._try_match`).  The heap's
+  (see :meth:`repro.mpi.comm.SimComm._try_match`).  The queue's
   ``(time, seq)`` order is deliberately **not** perturbed: same-time
   event order is part of this kernel's determinism contract (the trace
   exporters break timestamp ties by emission seq), not an ordering the
@@ -32,6 +51,7 @@ from __future__ import annotations
 
 import heapq
 import os
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..errors import DeadlockError, SimulationError
@@ -39,8 +59,16 @@ from .syscalls import Compute, Fork, Sleep, Syscall, Wait, WaitAny
 
 __all__ = [
     "Perturb", "ProcState", "Signal", "SimProcess", "Simulator", "Timer",
-    "perturb_from_env",
+    "make_simulator", "perturb_from_env",
 ]
+
+#: sentinel for "no bound argument" on a Timer (cheaper than None,
+#: which is a legitimate argument value)
+_NO_ARG = object()
+
+#: tombstone compaction floor: no compaction below this many cancelled
+#: heap entries, so tiny simulations never pay a heapify
+_COMPACT_MIN_CANCELLED = 64
 
 
 class Perturb:
@@ -96,16 +124,31 @@ class ProcState:
 
 
 class Timer:
-    """Handle to a scheduled callback; ``cancel()`` tombstones it."""
+    """Handle to a scheduled callback; ``cancel()`` tombstones it.
 
-    __slots__ = ("cancelled", "fn")
+    ``a``/``b`` are optional pre-bound call arguments (the internal
+    no-closure posting fast path); ``seq`` is the event's global order
+    stamp (stored on the Timer only for ready-lane events — timed
+    events carry it in their heap triple), and a non-None ``sim``
+    marks a timer currently sitting in that simulator's heap, so a
+    cancel feeds its tombstone accounting.
+    """
 
-    def __init__(self, fn: Callable[[], None]):
+    __slots__ = ("fn", "a", "b", "seq", "cancelled", "sim")
+
+    def __init__(self, fn: Callable[..., None]):
         self.fn = fn
+        self.a = _NO_ARG
+        self.b = _NO_ARG
         self.cancelled = False
+        self.sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.sim is not None:
+            self.sim._note_heap_cancel()
 
 
 class Signal:
@@ -131,8 +174,12 @@ class Signal:
         self.fired = True
         self.value = value
         waiters, self._waiters = self._waiters, []
-        for cb in waiters:
-            self.sim.call_soon(lambda cb=cb: cb(value))
+        sim = self.sim
+        for fn, a in waiters:
+            if a is _NO_ARG:
+                sim._post1(fn, value)
+            else:
+                sim._post2(fn, a, value)
 
     def reset(self) -> None:
         self.fired = False
@@ -140,15 +187,22 @@ class Signal:
 
     def add_waiter(self, cb: Callable[[Any], None]) -> None:
         if self.fired:
-            self.sim.call_soon(lambda: cb(self.value))
+            self.sim._post1(cb, self.value)
         else:
-            self._waiters.append(cb)
+            self._waiters.append((cb, _NO_ARG))
+
+    def _add_waiter2(self, fn: Callable[[Any, Any], None], a: Any) -> None:
+        """``add_waiter(lambda v: fn(a, v))`` without the closure."""
+        if self.fired:
+            self.sim._post2(fn, a, self.value)
+        else:
+            self._waiters.append((fn, a))
 
     def discard_waiter(self, cb: Callable[[Any], None]) -> None:
-        try:
-            self._waiters.remove(cb)
-        except ValueError:
-            pass
+        for i, (fn, a) in enumerate(self._waiters):
+            if fn == cb and a is _NO_ARG:
+                del self._waiters[i]
+                return
 
 
 class SimProcess:
@@ -183,7 +237,7 @@ class SimProcess:
 
 
 class Simulator:
-    """The event loop.
+    """The event loop (two-lane calendar engine; see module docstring).
 
     Typical use::
 
@@ -192,9 +246,17 @@ class Simulator:
         sim.run()
     """
 
+    engine = "calendar"
+
     def __init__(self, *, perturb: Optional[int] = None) -> None:
         self.now = 0.0
+        #: timed events: (time, seq, Timer) triples, heap-ordered
         self._heap: list[tuple[float, int, Timer]] = []
+        #: zero-delay events at the current instant, FIFO (seq order)
+        self._ready: deque[Timer] = deque()
+        #: cancelled entries still sitting in ``_heap`` (tombstones);
+        #: drives compaction
+        self._heap_cancels = 0
         self._seq = 0
         self.processes: list[SimProcess] = []
         self.n_events = 0
@@ -230,12 +292,70 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         t = Timer(fn)
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, t))
+        self._seq = seq = self._seq + 1
+        if delay == 0.0:
+            t.seq = seq
+            self._ready.append(t)
+        else:
+            t.sim = self
+            heapq.heappush(self._heap, (self.now + delay, seq, t))
         return t
 
     def call_soon(self, fn: Callable[[], None]) -> Timer:
-        return self.schedule(0.0, fn)
+        """O(1) same-instant scheduling: the ready-lane fast path."""
+        t = Timer(fn)
+        self._seq = seq = self._seq + 1
+        t.seq = seq
+        self._ready.append(t)
+        return t
+
+    # -- internal no-closure posting (the per-event hot path) ----------
+    def _post1(self, fn: Callable[[Any], None], a: Any) -> Timer:
+        """``call_soon(lambda: fn(a))`` without the closure."""
+        t = Timer(fn)
+        t.a = a
+        self._seq = seq = self._seq + 1
+        t.seq = seq
+        self._ready.append(t)
+        return t
+
+    def _post2(self, fn: Callable[[Any, Any], None], a: Any, b: Any) -> Timer:
+        """``call_soon(lambda: fn(a, b))`` without the closure."""
+        t = Timer(fn)
+        t.a = a
+        t.b = b
+        self._seq = seq = self._seq + 1
+        t.seq = seq
+        self._ready.append(t)
+        return t
+
+    def _post_at(self, delay: float, fn: Callable[[Any, Any], None],
+                 a: Any, b: Any) -> Timer:
+        """``schedule(delay, lambda: fn(a, b))`` without the closure."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        t = Timer(fn)
+        t.a = a
+        t.b = b
+        self._seq = seq = self._seq + 1
+        if delay == 0.0:
+            t.seq = seq
+            self._ready.append(t)
+        else:
+            t.sim = self
+            heapq.heappush(self._heap, (self.now + delay, seq, t))
+        return t
+
+    def _note_heap_cancel(self) -> None:
+        """A timed event was tombstoned; compact the heap in place when
+        more than half of it is dead (and it is past the size floor)."""
+        self._heap_cancels = c = self._heap_cancels + 1
+        heap = self._heap
+        if c > _COMPACT_MIN_CANCELLED and 2 * c > len(heap):
+            # in-place so a running event loop's local alias stays valid
+            heap[:] = [e for e in heap if not e[2].cancelled]
+            heapq.heapify(heap)
+            self._heap_cancels = 0
 
     def signal(self, name: str = "") -> Signal:
         return Signal(self, name)
@@ -259,7 +379,7 @@ class Simulator:
             node.attach(proc)
         self.processes.append(proc)
         proc.state = ProcState.READY
-        self.call_soon(lambda: self._resume(proc, None))
+        self._post2(self._resume, proc, None)
         return proc
 
     def _resume(self, proc: SimProcess, value: Any) -> None:
@@ -300,7 +420,7 @@ class Simulator:
         pending compute, a message wait) receives the exception
         immediately; the abandoned syscall's completion is ignored.
         """
-        self.call_soon(lambda: self._throw(proc, exc))
+        self._post2(self._throw, proc, exc)
 
     def kill(self, proc: SimProcess) -> None:
         """Terminate ``proc`` immediately (uncatchable)."""
@@ -329,15 +449,15 @@ class Simulator:
                     f"process {proc.name} is not attached to a node but asked to compute"
                 )
             proc.state = ProcState.READY
-            proc.node.cpu.submit(proc, request.work, lambda: self._resume(proc, None))
-        elif isinstance(request, Sleep):
-            proc.state = ProcState.BLOCKED
-            self.schedule(request.duration, lambda: self._wake(proc, None))
+            proc.node.cpu.submit(proc, request.work, self._resume_done, proc)
         elif isinstance(request, Wait):
             proc.state = ProcState.BLOCKED
-            request.signal.add_waiter(lambda v: self._wake(proc, v))
+            request.signal._add_waiter2(self._wake, proc)
             if self._watchdogs:
                 self._notify_block(proc, request)
+        elif isinstance(request, Sleep):
+            proc.state = ProcState.BLOCKED
+            self._post_at(request.duration, self._wake, proc, None)
         elif isinstance(request, WaitAny):
             proc.state = ProcState.BLOCKED
             self._wait_any(proc, list(request.signals))
@@ -349,8 +469,8 @@ class Simulator:
             child.done_signal = self.signal(f"done:{child.name}")
             self.processes.append(child)
             child.state = ProcState.READY
-            self.call_soon(lambda: self._resume(child, None))
-            self.call_soon(lambda: self._resume(proc, child))
+            self._post2(self._resume, child, None)
+            self._post2(self._resume, proc, child)
         else:
             raise SimulationError(
                 f"process {proc.name} yielded a non-syscall: {request!r}"
@@ -376,36 +496,78 @@ class Simulator:
         proc.state = ProcState.READY
         self._resume(proc, value)
 
+    def _resume_done(self, proc: SimProcess) -> None:
+        """Compute-completion callback (pre-bound, no per-submit closure)."""
+        self._resume(proc, None)
+
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
     def run(self, until: float = float("inf"), max_events: int = 200_000_000) -> float:
-        """Run until the heap drains or ``until`` is reached.
+        """Run until the queue drains or ``until`` is reached.
 
         Returns the final simulated time.  Raises
         :class:`~repro.errors.DeadlockError` if non-daemon processes
         remain blocked when no events are left.
 
         Note that a cluster with competing (infinite-loop) background
-        processes or periodic daemons never drains its heap; use
+        processes or periodic daemons never drains its queue; use
         :meth:`run_all` or :meth:`stop` to bound such runs.
         """
         self._stopped = False
-        while self._heap and not self._stopped:
-            t, _, timer = self._heap[0]
-            if t > until:
-                self.now = until
-                return self.now
-            heapq.heappop(self._heap)
-            if timer.cancelled:
-                continue
-            if t < self.now - 1e-12:
-                raise SimulationError("time went backwards")
-            self.now = t
+        ready = self._ready
+        heap = self._heap      # mutated only in place (see compaction)
+        heappop = heapq.heappop
+        no_arg = _NO_ARG
+        while not self._stopped:
+            # merge the two lanes by exact (time, seq) order: ready
+            # events run at self.now, so a heap event goes first only
+            # when it lands at this very instant with an earlier seq
+            timer = None
+            if ready:
+                if heap:
+                    t, s, ht = heap[0]
+                    if t == self.now and s < ready[0].seq:
+                        heappop(heap)
+                        ht.sim = None
+                        if ht.cancelled:
+                            self._heap_cancels -= 1
+                            continue
+                        timer = ht
+                if timer is None:
+                    if self.now > until:
+                        self.now = until
+                        return self.now
+                    timer = ready.popleft()
+                    if timer.cancelled:
+                        continue
+            elif heap:
+                t = heap[0][0]
+                if t > until:
+                    self.now = until
+                    return self.now
+                ht = heappop(heap)[2]
+                ht.sim = None
+                if ht.cancelled:
+                    self._heap_cancels -= 1
+                    continue
+                if t < self.now - 1e-12:
+                    raise SimulationError("time went backwards")
+                self.now = t
+                timer = ht
+            else:
+                break
             self.n_events += 1
             if self.n_events > max_events:
                 raise SimulationError(f"exceeded {max_events} events; runaway simulation?")
-            timer.fn()
+            fn = timer.fn
+            a = timer.a
+            if a is no_arg:
+                fn()
+            elif timer.b is no_arg:
+                fn(a)
+            else:
+                fn(a, timer.b)
         if not self._stopped:
             self._check_deadlock()
         return self.now
@@ -457,3 +619,26 @@ class Simulator:
                 raise p.error
             if p.state != ProcState.DONE:
                 raise SimulationError(f"process {p.name} did not finish (state={p.state})")
+
+
+def make_simulator(engine: Optional[str] = None, *,
+                   perturb: Optional[int] = None) -> Simulator:
+    """Build a simulator with the requested engine.
+
+    ``engine`` may be ``"calendar"`` (the two-lane scheduler above),
+    ``"reference"`` (the original single-heap loop, kept verbatim as
+    the equivalence oracle) or None, which defers to the
+    ``DYNMPI_KERNEL`` environment variable and defaults to calendar —
+    the same explicit-beats-environment convention as the sanitizer
+    and observability switches.
+    """
+    if engine is None:
+        engine = os.environ.get("DYNMPI_KERNEL", "").strip() or "calendar"
+    if engine == "calendar":
+        return Simulator(perturb=perturb)
+    if engine == "reference":
+        from .kernel_reference import ReferenceSimulator
+        return ReferenceSimulator(perturb=perturb)
+    raise SimulationError(
+        f"unknown kernel engine {engine!r} (expected 'calendar' or 'reference')"
+    )

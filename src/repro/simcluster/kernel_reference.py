@@ -1,0 +1,90 @@
+"""Reference DES engine: the original single-heap event loop.
+
+This preserves the pre-dynkern scheduler **verbatim** — one global
+``heapq`` of ``(time, seq, Timer)`` triples, every ``call_soon`` a
+zero-delay heap push, closures for argument binding, no tombstone
+compaction.  It exists as an equivalence oracle (the PR-3
+``core.reference`` idiom): the property suite runs whole scenarios on
+both engines and asserts byte-identical dynscope exports and equal
+``n_events``, which pins the calendar engine to the exact
+``(time, seq)`` total order this loop defines.
+
+Select it with ``ClusterSpec(kernel="reference")`` or
+``DYNMPI_KERNEL=reference`` (see
+:func:`repro.simcluster.kernel.make_simulator`).  It is intentionally
+slow — do not "optimise" it; any behavioural change here silently
+weakens the oracle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+from .kernel import Simulator, Timer
+
+__all__ = ["ReferenceSimulator"]
+
+
+class ReferenceSimulator(Simulator):
+    """Single-heap engine; see module docstring."""
+
+    engine = "reference"
+
+    def __init__(self, *, perturb: Optional[int] = None) -> None:
+        super().__init__(perturb=perturb)
+        # the ready lane stays permanently empty: every scheduling path
+        # below pushes onto the heap, as the original engine did
+
+    # ------------------------------------------------------------------
+    # event scheduling (original single-heap form)
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Timer:
+        """Run ``fn`` at ``now + delay``; returns a cancellable handle."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        t = Timer(fn)
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, t))
+        return t
+
+    def call_soon(self, fn: Callable[[], None]) -> Timer:
+        return self.schedule(0.0, fn)
+
+    # the internal no-closure posts collapse back to the original
+    # closure-per-event idiom so the heap sees plain thunks
+    def _post1(self, fn: Callable[[Any], None], a: Any) -> Timer:
+        return self.schedule(0.0, lambda: fn(a))
+
+    def _post2(self, fn: Callable[[Any, Any], None], a: Any, b: Any) -> Timer:
+        return self.schedule(0.0, lambda: fn(a, b))
+
+    def _post_at(self, delay: float, fn: Callable[[Any, Any], None],
+                 a: Any, b: Any) -> Timer:
+        return self.schedule(delay, lambda: fn(a, b))
+
+    # ------------------------------------------------------------------
+    # main loop (original form)
+    # ------------------------------------------------------------------
+    def run(self, until: float = float("inf"), max_events: int = 200_000_000) -> float:
+        """Run until the heap drains or ``until`` is reached."""
+        self._stopped = False
+        while self._heap and not self._stopped:
+            t, _, timer = self._heap[0]
+            if t > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            if t < self.now - 1e-12:
+                raise SimulationError("time went backwards")
+            self.now = t
+            self.n_events += 1
+            if self.n_events > max_events:
+                raise SimulationError(f"exceeded {max_events} events; runaway simulation?")
+            timer.fn()
+        if not self._stopped:
+            self._check_deadlock()
+        return self.now

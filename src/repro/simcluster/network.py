@@ -15,11 +15,26 @@ argues it must:
 The network object itself only models wire time and delivery ordering;
 CPU charging happens in :mod:`repro.mpi.comm` so that the overlap of
 computation and communication follows from process scheduling.
+
+Accounting contract: ``n_messages``/``n_bytes`` count each *logical*
+message exactly once, at first submission — a message held across a
+partition is already counted and is **not** recounted when
+:meth:`Network.heal` reinjects it.
+
+Fan-out batches go through :meth:`Network.transmit_many`, which
+vectorizes the per-message transmission-time division with numpy and
+then applies the per-NIC serialization chain sequentially.  The chain
+itself (max/add per NIC) is order-dependent and stays scalar — that is
+what makes ``transmit_many`` bit-for-bit equal to a loop of
+:meth:`Network.transmit` calls (``float64`` elementwise division is
+IEEE-exact either way; a vectorized prefix reduction would not be).
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
+
+import numpy as np
 
 from ..config import NetworkSpec
 from ..errors import SimulationError
@@ -30,6 +45,12 @@ __all__ = ["Network"]
 #: local (same-node) copies run at this multiple of the link bandwidth
 _LOCAL_SPEEDUP = 20.0
 _LOCAL_LATENCY = 1e-6
+
+#: batch size below which transmit_many skips the numpy round-trip
+_BULK_MIN = 8
+
+#: one queued message: (src, dst, nbytes, on_delivered)
+_Message = tuple[int, int, int, Callable[[], None]]
 
 
 class Network:
@@ -49,7 +70,7 @@ class Network:
         #: connected); messages crossing the cut are *held*, not
         #: dropped, and retransmitted on heal
         self._island: frozenset[int] = frozenset()
-        self._held: list[tuple[int, int, int, Callable[[], None]]] = []
+        self._held: list[_Message] = []
 
     def cpu_cost(self, nbytes: int) -> float:
         """CPU work units one endpoint spends handling a message."""
@@ -58,6 +79,12 @@ class Network:
     def wire_time(self, nbytes: int) -> float:
         """Uncontended one-way wire time for a message of ``nbytes``."""
         return self.spec.latency + nbytes / self.spec.bandwidth
+
+    def _check(self, src: int, dst: int, nbytes: int) -> None:
+        if not (0 <= src < self.n_nodes and 0 <= dst < self.n_nodes):
+            raise SimulationError(f"bad endpoints {src}->{dst}")
+        if nbytes < 0:
+            raise SimulationError(f"negative message size {nbytes}")
 
     def transmit(
         self,
@@ -69,26 +96,53 @@ class Network:
         """Schedule delivery of a message; returns the delivery time.
 
         ``on_delivered`` fires when the last byte reaches ``dst``.
+        Counts the message (once, here — see the module docstring) even
+        when a partition holds it.
         """
-        if not (0 <= src < self.n_nodes and 0 <= dst < self.n_nodes):
-            raise SimulationError(f"bad endpoints {src}->{dst}")
-        if nbytes < 0:
-            raise SimulationError(f"negative message size {nbytes}")
+        self._check(src, dst, nbytes)
+        self.n_messages += 1
+        self.n_bytes += nbytes
         if self._crosses_cut(src, dst):
             # hold until heal(); a partition delays traffic, it never
             # loses it, so the layers above need no retransmission
             self._held.append((src, dst, nbytes, on_delivered))
             return float("inf")
-        now = self.sim.now
-        self.n_messages += 1
-        self.n_bytes += nbytes
+        return self._inject(src, dst, nbytes, nbytes / self.spec.bandwidth,
+                            on_delivered)
 
+    def transmit_many(self, messages: Sequence[_Message]) -> list[float]:
+        """Bulk :meth:`transmit`: same counting, same delivery times,
+        same callback order as the equivalent loop — one call per
+        fan-out keeps the per-message Python overhead off the hot path
+        and lets the tx-time division vectorize."""
+        flowing: list[_Message] = []
+        for src, dst, nbytes, cb in messages:
+            self._check(src, dst, nbytes)
+            self.n_messages += 1
+            self.n_bytes += nbytes
+            if self._crosses_cut(src, dst):
+                self._held.append((src, dst, nbytes, cb))
+            else:
+                flowing.append((src, dst, nbytes, cb))
+        delivered = self._inject_many(flowing)
+        if len(flowing) == len(messages):
+            return delivered
+        # splice inf placeholders back in for the held messages
+        out: list[float] = []
+        it = iter(delivered)
+        for src, dst, nbytes, cb in messages:
+            out.append(float("inf") if self._crosses_cut(src, dst) else next(it))
+        return out
+
+    def _inject(self, src: int, dst: int, nbytes: int, tx: float,
+                on_delivered: Callable[[], None]) -> float:
+        """Serialize one counted, non-held message onto the NICs."""
+        now = self.sim.now
         if src == dst:
             deliver = now + _LOCAL_LATENCY + nbytes / (self.spec.bandwidth * _LOCAL_SPEEDUP)
             self.sim.schedule(deliver - now, on_delivered)
             return deliver
 
-        tx = nbytes / self.spec.bandwidth
         send_start = max(now, self._out_free[src])
         send_end = send_start + tx
         self._out_free[src] = send_end
@@ -98,6 +152,22 @@ class Network:
         self._in_free[dst] = deliver
         self.sim.schedule(deliver - now, on_delivered)
         return deliver
+
+    def _inject_many(self, messages: Sequence[_Message]) -> list[float]:
+        bw = self.spec.bandwidth
+        n = len(messages)
+        if n >= _BULK_MIN:
+            sizes = np.fromiter((m[2] for m in messages), dtype=np.float64,
+                                count=n)
+            # .tolist() hands back plain Python floats with the same
+            # bits, so no np.float64 ever leaks into simulated time
+            txs = (sizes / bw).tolist()
+        else:
+            txs = [m[2] / bw for m in messages]
+        return [
+            self._inject(src, dst, nbytes, txs[i], cb)
+            for i, (src, dst, nbytes, cb) in enumerate(messages)
+        ]
 
     # -- partitions ----------------------------------------------------
     def partition(self, island: set[int]) -> None:
@@ -112,11 +182,14 @@ class Network:
         self._island = frozenset(island)
 
     def heal(self) -> None:
-        """Reconnect the island and retransmit every held message."""
+        """Reconnect the island and reinject every held message.
+
+        Held messages were counted when first submitted, so this path
+        must not touch ``n_messages``/``n_bytes`` — it goes straight to
+        the injection layer."""
         self._island = frozenset()
         held, self._held = self._held, []
-        for src, dst, nbytes, cb in held:
-            self.transmit(src, dst, nbytes, cb)
+        self._inject_many(held)
 
     @property
     def partitioned(self) -> bool:

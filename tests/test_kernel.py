@@ -240,3 +240,132 @@ def test_determinism_same_seed_same_trace():
         return order
 
     assert build() == build()
+
+
+# -- dynkern: calendar engine ------------------------------------------------
+
+from repro.simcluster.kernel import make_simulator
+from repro.simcluster.kernel_reference import ReferenceSimulator
+
+
+def test_make_simulator_selects_engine():
+    assert make_simulator().engine == "calendar"
+    assert make_simulator("calendar").engine == "calendar"
+    assert isinstance(make_simulator("reference"), ReferenceSimulator)
+    assert make_simulator("reference").engine == "reference"
+    with pytest.raises(SimulationError):
+        make_simulator("fibonacci")
+
+
+def test_make_simulator_env_default(monkeypatch):
+    monkeypatch.setenv("DYNMPI_KERNEL", "reference")
+    assert make_simulator().engine == "reference"
+    monkeypatch.setenv("DYNMPI_KERNEL", "calendar")
+    assert make_simulator().engine == "calendar"
+    # an explicit argument beats the environment
+    monkeypatch.setenv("DYNMPI_KERNEL", "reference")
+    assert make_simulator("calendar").engine == "calendar"
+
+
+@pytest.mark.parametrize("engine", ["calendar", "reference"])
+def test_zero_delay_fifo_interleaves_with_timed(engine):
+    # a timed event landing at the same instant as queued call_soon
+    # events must honour the global seq order on both engines
+    sim = make_simulator(engine)
+    order = []
+    sim.schedule(1.0, lambda: order.append("timed"))
+
+    def kickoff():
+        sim.call_soon(lambda: order.append("soon"))
+
+    sim.schedule(1.0, lambda: kickoff())
+    sim.run()
+    assert order == ["timed", "soon"]
+
+
+def test_call_soon_runs_in_fifo_order():
+    sim = Simulator()
+    order = []
+    for i in range(10):
+        sim.call_soon(lambda i=i: order.append(i))
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_cancelled_ready_event_skipped():
+    sim = Simulator()
+    fired = []
+    t = sim.call_soon(lambda: fired.append(1))
+    sim.call_soon(lambda: fired.append(2))
+    t.cancel()
+    sim.run()
+    assert fired == [2]
+
+
+def test_tombstone_compaction_bounds_heap():
+    # the leak regression: schedule-and-cancel churn must not grow the
+    # heap without bound (the pre-dynkern engine kept every tombstone
+    # until its deadline)
+    sim = Simulator()
+    churn = 50_000
+    live = sim.schedule(1e9, lambda: None)  # one live far-future timer
+
+    def pump(remaining):
+        if remaining:
+            t = sim.schedule(1e6, lambda: None)
+            t.cancel()
+            sim.schedule(1e-6, lambda: pump(remaining - 1))
+
+    pump(churn)
+    sim.run(until=1.0)
+    # live timers: the 1e9 sentinel (a drained pump leaves no pending
+    # tick).  Compaction keeps tombstones below half the heap + floor.
+    assert len(sim._heap) < 200, len(sim._heap)
+    live.cancel()
+
+
+def test_reference_engine_keeps_tombstones():
+    # documents the leak the calendar engine fixes (and pins the
+    # reference engine to the original behaviour)
+    sim = make_simulator("reference")
+    for _ in range(1000):
+        sim.schedule(1e6, lambda: None).cancel()
+    sim.run(until=1.0)
+    assert len(sim._heap) == 1000
+
+
+@pytest.mark.parametrize("engine", ["calendar", "reference"])
+def test_engines_agree_on_event_order(engine):
+    # a mixed workload of timed events, zero-delay cascades and cancels
+    # must produce the identical execution order on both engines
+    sim = make_simulator(engine)
+    order = []
+
+    def cascade(tag, depth):
+        order.append((tag, depth, sim.now))
+        if depth:
+            sim.call_soon(lambda: cascade(tag, depth - 1))
+
+    handles = []
+    for i in range(20):
+        delay = (i * 7919) % 13 * 0.1
+        handles.append(sim.schedule(delay, lambda i=i: cascade(i, i % 4)))
+    for i in (3, 7, 11):
+        handles[i].cancel()
+    sim.run()
+    if engine == "calendar":
+        test_engines_agree_on_event_order.got = order
+    else:
+        assert order == test_engines_agree_on_event_order.got
+
+
+def test_cluster_spec_kernel_selects_engine():
+    from repro.config import ClusterSpec, ConfigError as _CE
+    from repro.simcluster import Cluster
+
+    ref = Cluster(ClusterSpec(n_nodes=2, kernel="reference"))
+    assert ref.sim.engine == "reference"
+    cal = Cluster(ClusterSpec(n_nodes=2))
+    assert cal.sim.engine == "calendar"
+    with pytest.raises(_CE):
+        ClusterSpec(n_nodes=2, kernel="quantum")

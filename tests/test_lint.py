@@ -439,3 +439,59 @@ def test_dyn801_suppression_is_dyncamp_not_dynsan():
     wrong = lint_source("import subprocess  # dynsan: ok\n",
                         process_zone=True)
     assert codes(wrong) == ["DYN801"]
+
+
+# ----------------------------------------------------------------------
+# DYN901: event-queue manipulation outside simcluster/kernel*.py
+# ----------------------------------------------------------------------
+
+def test_dyn901_fixture_findings():
+    src = (FIXTURES / "bad_dyn901_heapq.py").read_text()
+    findings = lint_source(src, "bad_dyn901_heapq.py", kernel_zone=True)
+    assert codes(findings) == ["DYN901"] * 4
+    assert "heapq" in findings[0].message
+    assert "heapq" in findings[1].message
+    assert "sim._heap" in findings[2].message
+    assert "sim._heap" in findings[3].message
+    # the suppressed alias import must not be reported, and the whole
+    # file is clean outside the zone
+    assert lint_source(src, "bad_dyn901_heapq.py") == []
+
+
+def test_dyn901_zone_boundaries(tmp_path):
+    code = "import heapq\n"
+    lib = tmp_path / "repro" / "runtime"
+    lib.mkdir(parents=True)
+    (lib / "daemon.py").write_text(code)
+    home = tmp_path / "repro" / "simcluster"
+    home.mkdir()
+    (home / "kernel.py").write_text(code)
+    (home / "kernel_reference.py").write_text(code)
+    (home / "network.py").write_text(code)
+    outside = tmp_path / "tests"
+    outside.mkdir()
+    (outside / "test_kernel.py").write_text(code)
+    assert codes(lint_file(lib / "daemon.py")) == ["DYN901"]
+    assert lint_file(home / "kernel.py") == []            # the home
+    assert lint_file(home / "kernel_reference.py") == []  # also home
+    assert codes(lint_file(home / "network.py")) == ["DYN901"]
+    assert lint_file(outside / "test_kernel.py") == []    # tests are free
+
+
+def test_dyn901_heap_attribute_is_caught():
+    findings = lint_source(
+        "def drain(sim):\n"
+        "    while sim._heap:\n"
+        "        sim._heap.pop()\n",
+        kernel_zone=True,
+    )
+    assert codes(findings) == ["DYN901"] * 2
+    assert "schedule" in findings[0].message
+
+
+def test_dyn901_suppression_is_dynkern_not_dynsan():
+    ok = lint_source("import heapq  # dynkern: ok\n", kernel_zone=True)
+    assert ok == []
+    # dynsan's own marker does not silence a dynkern-owned rule
+    wrong = lint_source("import heapq  # dynsan: ok\n", kernel_zone=True)
+    assert codes(wrong) == ["DYN901"]
