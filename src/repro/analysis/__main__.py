@@ -6,6 +6,7 @@ Usage::
     python -m repro.analysis plan spec.json [--quiet]
     python -m repro.analysis flow src/repro examples [--json]
     python -m repro.analysis race src/repro examples [--json]
+    python -m repro.analysis perf src/repro examples [--profile trace.json]
     python -m repro.analysis perturb --seeds 1,2,3 [--target removal]
 
 ``lint`` walks the given files/trees and prints one line per finding
@@ -25,10 +26,17 @@ dynamic cross-check: it re-runs a traced scenario under
 unperturbed trace), and with ``--expect-diff`` it expects a race to
 show up as a trace diff.
 
+``perf`` runs dynperf, the interprocedural hot-path cost analyzer
+(hot-zone inference from the kernel event loop + per-iteration cost
+rules — DYN1001–DYN1006 codes; see :mod:`repro.analysis.perf`).
+``--profile trace.json`` re-ranks the report by measured per-phase
+exclusive time from a dynscope trace export.
+
 Every subcommand follows one exit-code contract, and ``lint``,
-``flow``, and ``race`` share the same baseline-file mechanics
-(``--baseline`` to carry known findings, ``--write-baseline`` to
-snapshot them; see :mod:`repro.analysis.baseline`):
+``flow``, ``race``, and ``perf`` share the same baseline-file
+mechanics (``--baseline`` to carry known findings,
+``--write-baseline`` to snapshot them; see
+:mod:`repro.analysis.baseline`):
 
 =====  =============================================================
 exit   meaning
@@ -36,7 +44,8 @@ exit   meaning
 0      clean — no findings (for ``perturb``: expectation met)
 1      findings remain / violations found / expectation not met
 2      usage or internal error (unreadable input, malformed spec,
-       blown ``--max-seconds`` budget)
+       unreadable ``--profile`` trace, blown ``--max-seconds``
+       budget)
 =====  =============================================================
 
 ``plan`` statically verifies a redistribution plan from a JSON spec::
@@ -177,6 +186,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 ],
             },
             indent=2,
+            sort_keys=True,
         ))
         return 1 if findings else 0
     for f in findings:
@@ -217,6 +227,20 @@ def _cmd_race(args: argparse.Namespace) -> int:
         baseline=args.baseline,
         write_baseline=args.write_baseline,
         max_seconds=args.max_seconds,
+    )
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from .perf import run_perf
+
+    return run_perf(
+        args.paths,
+        json_out=args.json,
+        quiet=args.quiet,
+        baseline=args.baseline,
+        write_baseline=args.write_baseline,
+        max_seconds=args.max_seconds,
+        profile=args.profile,
     )
 
 
@@ -297,6 +321,24 @@ def main(argv=None) -> int:
     p_race.add_argument("--max-seconds", type=float, default=None,
                         help="fail (exit 2) if analysis exceeds this budget")
     p_race.set_defaults(fn=_cmd_race)
+
+    p_perf = sub.add_parser(
+        "perf", help="dynperf interprocedural hot-path cost analysis"
+    )
+    p_perf.add_argument("paths", nargs="+", help="files or directories")
+    p_perf.add_argument("--quiet", action="store_true")
+    p_perf.add_argument("--json", action="store_true",
+                        help="machine-readable findings on stdout")
+    p_perf.add_argument("--baseline", metavar="FILE", default=None,
+                        help="suppress findings whose fingerprint is in FILE")
+    p_perf.add_argument("--write-baseline", metavar="FILE", default=None,
+                        help="write current findings to FILE and continue")
+    p_perf.add_argument("--max-seconds", type=float, default=None,
+                        help="fail (exit 2) if analysis exceeds this budget")
+    p_perf.add_argument("--profile", metavar="TRACE", default=None,
+                        help="dynscope trace export: re-rank findings by "
+                             "measured per-phase exclusive time")
+    p_perf.set_defaults(fn=_cmd_perf)
 
     p_pert = sub.add_parser(
         "perturb", help="schedule-perturbation determinism cross-check"

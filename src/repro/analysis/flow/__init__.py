@@ -118,6 +118,7 @@ def run_flow(
                     findings, suppressed=suppressed, elapsed=elapsed
                 ),
                 indent=2,
+                sort_keys=True,
             ),
             file=out,
         )

@@ -55,8 +55,10 @@ __all__ = [
 ]
 
 #: one-line summaries, used by ``--json`` output and the docs table.
-#: dynrace (``repro.analysis.race``) reports through the same
-#: :class:`FlowFinding` type, so its DYN7xx codes live here too.
+#: dynrace (``repro.analysis.race``) and dynperf
+#: (``repro.analysis.perf``) report through the same
+#: :class:`FlowFinding` type, so their DYN7xx/DYN10xx codes live
+#: here too.
 CODES = {
     "DYN501": "collective sequence diverges on a rank-dependent branch",
     "DYN502": "rank-dependent loop bound around a collective",
@@ -69,6 +71,12 @@ CODES = {
     "DYN703": "unordered set iteration feeds message/event ordering",
     "DYN704": "RNG outside the seeded StreamRegistry home",
     "DYN705": "float accumulation order depends on set iteration",
+    "DYN1001": "allocation inside a hot loop",
+    "DYN1002": "linear scan on the per-event path",
+    "DYN1003": "nested rank iteration (quadratic in world size)",
+    "DYN1004": "loop-invariant work repeated inside a hot loop",
+    "DYN1005": "exception control flow or eager formatting per event",
+    "DYN1006": "expensive call result discarded in the hot zone",
 }
 
 SUPPRESS_MARK = "dynflow: ok"

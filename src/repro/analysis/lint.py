@@ -94,6 +94,8 @@ import pathlib
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
+from .zones import ZONES, suppress_mark_for
+
 __all__ = [
     "LintFinding",
     "lint_source", "lint_file", "lint_paths",
@@ -114,58 +116,27 @@ GENERATOR_FUNCS = frozenset({
     "allgather", "allgather_dissemination", "alltoallv", "redistribute",
 })
 
-#: path components marking the zones that must stay deterministic
-DETERMINISTIC_ZONES = ("simcluster", "core")
+#: zone definitions live in the shared registry (repro.analysis.zones)
+#: — one declarative entry per rule family, consumed by dynsan,
+#: dynrace, and dynperf alike.  The historical constants below are
+#: derived views kept for readability at the use sites.
+DETERMINISTIC_ZONES = ZONES["deterministic"].require_parts
 
-#: library package whose files are checked for ad-hoc fault injection
-#: (DYN301); the resilience package is the one sanctioned home
-FAULT_LIBRARY_ZONE = "repro"
-FAULT_EXEMPT_ZONE = "resilience"
-
-#: Simulator methods that constitute fault injection
+#: Simulator methods that constitute fault injection (DYN301; the
+#: resilience package is the zone's sanctioned home)
 _FAULT_METHODS = frozenset({"kill", "inject"})
 
-#: path components marking data-plane hot paths where per-row
-#: membership loops are banned (DYN401)
-ROW_MEMBERSHIP_ZONES = ("core", "resilience")
-
-#: the set-based reference oracle keeps the original per-row code as
-#: ground truth for property tests — exempt from DYN401 by filename
-ROW_MEMBERSHIP_EXEMPT_FILES = ("reference.py",)
-
-#: library zone where DYN601 (ad-hoc instrumentation) applies
-OBS_ZONE = "repro"
-#: sanctioned instrumentation homes — plus the dynflow and dynrace
-#: drivers, whose wall-clock analysis budgets (``--max-seconds``) and
-#: stdout reports are the feature
-OBS_EXEMPT_DIRS = ("sysmon", "obs", "flow", "race")
-#: CLI entry points and report formatters exist to write to stdout
-OBS_EXEMPT_FILES = ("__main__.py", "report.py")
-
-#: library zone where DYN801 (process-level parallelism) applies; the
-#: campaign engine (dyncamp) is the one sanctioned home for worker
-#: pools — everything else in the library must stay single-process
-PROCESS_ZONE = "repro"
-PROCESS_EXEMPT_ZONE = "campaign"
-
 #: top-level modules whose import constitutes process-level parallelism
-#: (``concurrent`` covers ``concurrent.futures``)
+#: (``concurrent`` covers ``concurrent.futures``) — DYN801; the
+#: campaign engine is the zone's sanctioned home
 _PROCESS_MODULES = frozenset({"multiprocessing", "concurrent", "subprocess"})
 
 #: suppression marker for DYN801 — the rule belongs to dyncamp, so an
 #: exemption is spelled ``# dyncamp: ok``
-CAMPAIGN_SUPPRESS_MARK = "dyncamp: ok"
-
-#: library zone where DYN901 (event-queue manipulation) applies; the
-#: kernel modules are the one sanctioned home.  ``kernel*.py`` by
-#: prefix so the reference engine (kernel_reference.py) — which *is*
-#: a heap — stays exempt alongside the calendar engine
-KERNEL_ZONE = "repro"
-KERNEL_HOME_DIR = "simcluster"
-KERNEL_HOME_PREFIX = "kernel"
+CAMPAIGN_SUPPRESS_MARK = ZONES["process"].suppress_mark
 
 #: suppression marker for DYN901 — the rule belongs to dynkern
-KERNEL_SUPPRESS_MARK = "dynkern: ok"
+KERNEL_SUPPRESS_MARK = ZONES["kernel"].suppress_mark
 
 #: the event-queue attribute DYN901 guards against out-of-band access
 _KERNEL_HEAP_ATTR = "_heap"
@@ -259,8 +230,7 @@ class _Linter(ast.NodeVisitor):
         return False
 
     def _emit(self, node: ast.AST, code: str, message: str) -> None:
-        mark = {"DYN801": CAMPAIGN_SUPPRESS_MARK,
-                "DYN901": KERNEL_SUPPRESS_MARK}.get(code, "dynsan: ok")
+        mark = suppress_mark_for(code)
         if not self._suppressed(node, mark):
             self.findings.append(LintFinding(
                 self.path, node.lineno, node.col_offset, code, message
@@ -507,54 +477,40 @@ class _Linter(ast.NodeVisitor):
 
 
 def _in_deterministic_zone(path: pathlib.Path) -> bool:
-    return any(part in DETERMINISTIC_ZONES for part in path.parts)
+    return ZONES["deterministic"].contains(path)
 
 
 def _in_fault_injection_zone(path: pathlib.Path) -> bool:
     """Library code (under the ``repro`` package) outside the
     resilience package: the only place DYN301 applies.  Tests,
     examples, and benchmarks inject faults freely."""
-    parts = path.parts
-    return FAULT_LIBRARY_ZONE in parts and FAULT_EXEMPT_ZONE not in parts
+    return ZONES["fault"].contains(path)
 
 
 def _in_row_membership_zone(path: pathlib.Path) -> bool:
     """Data-plane hot paths (``core``/``resilience``) where DYN401
     applies; the set-based reference oracle is exempt by filename."""
-    if path.name in ROW_MEMBERSHIP_EXEMPT_FILES:
-        return False
-    return any(part in ROW_MEMBERSHIP_ZONES for part in path.parts)
+    return ZONES["row_membership"].contains(path)
 
 
 def _in_instrumentation_zone(path: pathlib.Path) -> bool:
     """Library code (under ``repro``) where DYN601 applies, minus the
     sanctioned instrumentation homes and stdout-facing files."""
-    parts = path.parts
-    if OBS_ZONE not in parts:
-        return False
-    if any(part in OBS_EXEMPT_DIRS for part in parts):
-        return False
-    return path.name not in OBS_EXEMPT_FILES
+    return ZONES["instrumentation"].contains(path)
 
 
 def _in_process_zone(path: pathlib.Path) -> bool:
     """Library code (under ``repro``) outside the campaign engine: the
     only place DYN801 applies.  Tests, examples, and benchmarks may
     spawn processes freely."""
-    parts = path.parts
-    return PROCESS_ZONE in parts and PROCESS_EXEMPT_ZONE not in parts
+    return ZONES["process"].contains(path)
 
 
 def _in_kernel_zone(path: pathlib.Path) -> bool:
     """Library code (under ``repro``) outside the kernel modules: the
     only place DYN901 applies.  Tests and benchmarks may poke at heaps
     freely (the bounded-heap regression test must)."""
-    if KERNEL_ZONE not in path.parts:
-        return False
-    return not (
-        KERNEL_HOME_DIR in path.parts
-        and path.name.startswith(KERNEL_HOME_PREFIX)
-    )
+    return ZONES["kernel"].contains(path)
 
 
 def lint_source(
@@ -621,7 +577,7 @@ def lint_paths(paths: Iterable[str | pathlib.Path]) -> list[LintFinding]:
 
 #: suppression marker for the race rules — distinct from dynsan's so a
 #: line can be fine for one tool and a finding for the other
-RACE_SUPPRESS_MARK = "dynrace: ok"
+RACE_SUPPRESS_MARK = ZONES["rng"].suppress_mark
 
 #: calls whose *relative order* is observable in the exported trace:
 #: message emission (endpoint/collective generators plus the nonblocking
@@ -630,8 +586,9 @@ _ORDER_SINKS = GENERATOR_METHODS | GENERATOR_FUNCS | {
     "isend", "irecv", "instant", "complete", "count", "observe",
 }
 
-#: the one sanctioned RNG construction site (seeded StreamRegistry)
-RNG_HOME = ("simcluster", "rng.py")
+#: the one sanctioned RNG construction site (seeded StreamRegistry) —
+#: declared in the shared zone registry, recognized via ``is_home``
+RNG_HOME = (ZONES["rng"].home_dir, ZONES["rng"].home_prefix)
 
 
 class _RaceLinter(ast.NodeVisitor):
@@ -842,7 +799,7 @@ def race_lint_source(source: str, path: str = "<string>", *,
 
 
 def _is_rng_home(path: pathlib.Path) -> bool:
-    return path.name == RNG_HOME[1] and RNG_HOME[0] in path.parts
+    return ZONES["rng"].is_home(path)
 
 
 def race_lint_file(path: pathlib.Path) -> list[LintFinding]:

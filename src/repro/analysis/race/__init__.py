@@ -138,7 +138,7 @@ def run_race(
             findings, suppressed=suppressed, elapsed=elapsed
         )
         payload["tool"] = "dynrace"
-        print(_json.dumps(payload, indent=2), file=out)
+        print(_json.dumps(payload, indent=2, sort_keys=True), file=out)
     elif findings:
         print(render_findings(findings), file=out)
         if not quiet:

@@ -1,0 +1,148 @@
+"""Path-zone registry shared by every analyzer family.
+
+Each rule family in the suite applies only inside a *zone* — a set of
+files picked out by path components — and several families exempt a
+sanctioned *home* (the one module allowed to do the thing the rule
+bans).  Until dynperf this logic was re-implemented per rule family in
+:mod:`repro.analysis.lint`; this module is the one place a zone is
+defined, and dynsan, dynrace, and dynperf all resolve paths through it.
+
+A :class:`Zone` is declarative:
+
+* ``require_parts`` — the path must contain at least one of these
+  components (empty = no requirement);
+* ``forbid_parts`` — the path must contain none of these;
+* ``exempt_files`` — file names excluded from the zone;
+* ``home_dir``/``home_prefix`` — the sanctioned home: files named
+  ``{home_prefix}*`` under a ``{home_dir}`` component are *outside*
+  the zone (they are the module the rule protects).
+
+Every zone names the subsystem that owns it and the suppression
+marker that waives one of its findings — so an exemption comment
+always names the tool whose rule it silences (``# dynsan: ok``,
+``# dynrace: ok``, ``# dyncamp: ok``, ``# dynkern: ok``,
+``# dynperf: ok``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+
+__all__ = ["Zone", "ZONES", "suppress_mark_for"]
+
+
+@dataclass(frozen=True)
+class Zone:
+    name: str
+    owner: str             # subsystem the rule family belongs to
+    suppress_mark: str     # marker that waives a finding in this zone
+    require_parts: tuple = ()
+    forbid_parts: tuple = ()
+    exempt_files: tuple = ()
+    home_dir: str = ""
+    home_prefix: str = ""
+
+    def is_home(self, path: pathlib.Path) -> bool:
+        """Whether ``path`` is the zone's sanctioned home module."""
+        if not self.home_dir:
+            return False
+        return (self.home_dir in path.parts
+                and path.name.startswith(self.home_prefix))
+
+    def contains(self, path: pathlib.Path) -> bool:
+        parts = path.parts
+        if self.require_parts and not any(
+            p in parts for p in self.require_parts
+        ):
+            return False
+        if any(p in parts for p in self.forbid_parts):
+            return False
+        if path.name in self.exempt_files:
+            return False
+        return not self.is_home(path)
+
+
+#: the registry: one entry per rule family's zone.  The lint module's
+#: historical per-rule constants (DETERMINISTIC_ZONES, PROCESS_ZONE,
+#: KERNEL_HOME_PREFIX, ...) are re-derived from these entries so the
+#: two views can never drift.
+ZONES: dict[str, Zone] = {
+    # DYN101: wallclock/randomness is banned where bit-exactness lives
+    "deterministic": Zone(
+        name="deterministic", owner="dynsan", suppress_mark="dynsan: ok",
+        require_parts=("simcluster", "core"),
+    ),
+    # DYN301: library code must route faults through the FailureBoard;
+    # the resilience package is the sanctioned home
+    "fault": Zone(
+        name="fault", owner="dynsan", suppress_mark="dynsan: ok",
+        require_parts=("repro",), forbid_parts=("resilience",),
+    ),
+    # DYN401: per-row membership loops on the data-plane hot paths;
+    # the set-based oracle keeps the original code as ground truth
+    "row_membership": Zone(
+        name="row_membership", owner="dynsan", suppress_mark="dynsan: ok",
+        require_parts=("core", "resilience"),
+        exempt_files=("reference.py",),
+    ),
+    # DYN601: ad-hoc instrumentation outside the sanctioned homes
+    # (sysmon/obs) and the analyzer drivers whose wall-clock budgets
+    # and stdout reports are the feature
+    "instrumentation": Zone(
+        name="instrumentation", owner="dynsan", suppress_mark="dynsan: ok",
+        require_parts=("repro",),
+        forbid_parts=("sysmon", "obs", "flow", "race", "perf"),
+        exempt_files=("__main__.py", "report.py"),
+    ),
+    # DYN801: process-level parallelism belongs to the campaign layer
+    "process": Zone(
+        name="process", owner="dyncamp", suppress_mark="dyncamp: ok",
+        require_parts=("repro",), forbid_parts=("campaign",),
+    ),
+    # DYN901: the event queue's invariants belong to the kernel
+    # modules (kernel*.py covers the reference engine too)
+    "kernel": Zone(
+        name="kernel", owner="dynkern", suppress_mark="dynkern: ok",
+        require_parts=("repro",),
+        home_dir="simcluster", home_prefix="kernel",
+    ),
+    # DYN704: the one sanctioned RNG construction site.  Used through
+    # ``is_home`` — the *home* is what dynrace needs to recognize.
+    "rng": Zone(
+        name="rng", owner="dynrace", suppress_mark="dynrace: ok",
+        require_parts=("repro",),
+        home_dir="simcluster", home_prefix="rng.py",
+    ),
+    # DYN1001-1006: dynperf's cost rules run over every analyzed path;
+    # the hot *zone* itself is function-level (call-graph reachability,
+    # repro.analysis.perf.hotzone), not path-level, so this entry only
+    # carries the family's ownership and suppression marker
+    "perf": Zone(
+        name="perf", owner="dynperf", suppress_mark="dynperf: ok",
+    ),
+}
+
+
+#: finding-code family -> the zone owning that rule family; used to
+#: pick the suppression marker a finding listens to.  Families are
+#: matched by the code's *hundreds* group (``DYN801`` -> 8xx), except
+#: dynperf whose four-digit DYN10xx block would otherwise collide
+#: with DYN1xx.
+_FAMILY_ZONES = {
+    "7": ZONES["rng"],       # DYN7xx: dynrace determinism rules
+    "8": ZONES["process"],   # DYN8xx: dyncamp process-parallelism rule
+    "9": ZONES["kernel"],    # DYN9xx: dynkern event-queue rule
+}
+
+
+def suppress_mark_for(code: str) -> str:
+    """The suppression marker a finding code listens to (``DYN801``
+    -> ``dyncamp: ok``, ``DYN1003`` -> ``dynperf: ok``, default
+    ``dynsan: ok``)."""
+    digits = code.removeprefix("DYN")
+    if len(digits) == 4 and digits.startswith("10"):
+        return ZONES["perf"].suppress_mark
+    if len(digits) == 3 and digits[0] in _FAMILY_ZONES:
+        return _FAMILY_ZONES[digits[0]].suppress_mark
+    return "dynsan: ok"

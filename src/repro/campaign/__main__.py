@@ -7,7 +7,10 @@ Commands
 ``resume``  continue a (possibly killed) campaign from its directory
 ``status``  show sweep progress and the quarantine list
 ``report``  aggregate finished combos; writes ``BENCH_<name>.json``
-``fuzz``    run seeded fuzz scenarios through the invariant checkers
+``fuzz``    run seeded fuzz scenarios through the invariant checkers;
+            ``--replay CORPUS`` re-runs a persisted failure corpus
+            (JSONL, one failure per line) instead of generating new
+            scenarios
 
 Exit codes: 0 = success / all invariants clean; 1 = findings
 (quarantined combos, fuzz failures); 2 = usage or campaign-spec error.
@@ -22,7 +25,7 @@ from typing import Optional
 
 from ..errors import ConfigError
 from .engine import Engine, default_workers
-from .fuzz import run_fuzz
+from .fuzz import run_fuzz, run_replay
 from .report import render_status, render_summary
 from .space import load_space
 from .sweeper import DEFAULT_MAX_TRIES, ParamSweeper
@@ -88,6 +91,23 @@ def cmd_report(args) -> int:
 
 
 def cmd_fuzz(args) -> int:
+    if args.replay is not None:
+        try:
+            report = run_replay(
+                args.replay, workers=args.workers or default_workers()
+            )
+        except OSError as exc:
+            print(f"error: cannot read corpus {args.replay}: "
+                  f"{exc.strerror}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"error: malformed corpus: {exc}", file=sys.stderr)
+            return 2
+        drifted = sum(1 for r in report.rows if r.get("drifted"))
+        print(f"replay: {args.replay} ({report.n_scenarios} row(s)"
+              + (f", {drifted} drifted" if drifted else "") + ")")
+        print(report.render())
+        return 0 if report.clean else 1
     report = run_fuzz(
         args.seed,
         args.iterations,
@@ -156,6 +176,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None)
     p.add_argument("--out", type=pathlib.Path, default=None,
                    help="directory for failures.jsonl repro records")
+    p.add_argument("--replay", type=pathlib.Path, default=None,
+                   metavar="CORPUS",
+                   help="replay a failures.jsonl corpus instead of "
+                        "fuzzing; exit 0 only if every recorded "
+                        "scenario is now clean")
     p.set_defaults(fn=cmd_fuzz)
     return parser
 

@@ -21,6 +21,15 @@ A violated invariant persists the scenario to ``failures.jsonl`` with
 a minimal repro command line (``python -m repro.campaign fuzz --seed S
 --index I``) so a failure found in a thousand-scenario sweep is one
 copy-paste away from a debugger.
+
+``failures.jsonl`` is also a **regression corpus**: ``python -m
+repro.campaign fuzz --replay failures.jsonl`` re-runs every recorded
+scenario through all three invariants and exits 0 only when the whole
+corpus is clean — the check that a fixed bug stays fixed.  Replay
+re-derives the scenario from ``(seed, index)``; if the derived slug no
+longer matches the recorded one (the generator changed since the row
+was written), it falls back to the recorded ``params`` verbatim and
+marks the row ``drifted`` — corpus entries outlive fuzzer tweaks.
 """
 
 from __future__ import annotations
@@ -35,7 +44,16 @@ from .runner import run_combo
 from .scenarios import build_scenario, resolve_params
 from .space import combo_slug
 
-__all__ = ["SplitMix64", "FuzzReport", "fuzz_params", "fuzz_one", "run_fuzz"]
+__all__ = [
+    "SplitMix64",
+    "FuzzReport",
+    "fuzz_params",
+    "fuzz_one",
+    "load_corpus",
+    "replay_one",
+    "run_fuzz",
+    "run_replay",
+]
 
 _MASK = (1 << 64) - 1
 #: perturbation seeds each scenario's trace must be invariant under
@@ -201,6 +219,69 @@ def fuzz_one(args: tuple) -> dict:
         row["repro"] = (f"python -m repro.campaign fuzz "
                         f"--seed {seed} --index {index}")
     return row
+
+
+def replay_one(row: dict) -> dict:
+    """Re-check one corpus row (pool-safe).  Prefers re-deriving the
+    scenario from ``(seed, index)``; falls back to the recorded params
+    when the derived slug no longer matches (generator drift)."""
+    seed, index = int(row["seed"]), int(row["index"])
+    params = fuzz_params(seed, index)
+    drifted = combo_slug(params) != row.get("slug", combo_slug(params))
+    if drifted:
+        params = dict(row["params"])
+    verdicts = {}
+    for name, checker in _INVARIANTS:
+        verdicts[name] = checker(dict(params)) or "ok"
+    ok = all(v == "ok" for v in verdicts.values())
+    out = {
+        "index": index,
+        "seed": seed,
+        "slug": row.get("slug") or combo_slug(params),
+        "params": params,
+        "invariants": verdicts,
+        "ok": ok,
+    }
+    if drifted:
+        out["drifted"] = True
+    if not ok:
+        out["repro"] = row.get("repro") or (
+            f"python -m repro.campaign fuzz --seed {seed} --index {index}"
+        )
+    return out
+
+
+def load_corpus(path) -> list:
+    """Parse a ``failures.jsonl`` corpus.  Raises ValueError for rows
+    missing the replay keys (the CLI maps that to exit 2)."""
+    rows = []
+    text = pathlib.Path(path).read_text(encoding="utf-8")
+    for n, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        row = json.loads(line)
+        missing = {"seed", "index", "params"} - set(row)
+        if missing:
+            raise ValueError(
+                f"{path}:{n}: corpus row missing {sorted(missing)}"
+            )
+        rows.append(row)
+    if not rows:
+        raise ValueError(f"{path}: empty corpus")
+    return rows
+
+
+def run_replay(corpus_path, *, workers: int = 1) -> "FuzzReport":
+    """Replay every row of a failure corpus; the report is clean only
+    when every recorded scenario now passes all invariants."""
+    rows = load_corpus(corpus_path)
+    if workers > 1 and len(rows) > 1:
+        with multiprocessing.Pool(min(workers, len(rows))) as pool:
+            out = pool.map(replay_one, rows)
+    else:
+        out = [replay_one(row) for row in rows]
+    seeds = sorted({r["seed"] for r in out})
+    return FuzzReport(seed=seeds[0] if len(seeds) == 1 else -1, rows=out)
 
 
 @dataclass

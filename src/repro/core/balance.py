@@ -118,13 +118,14 @@ def closed_form_shares(
 
     shares = naive_shares(avails)
     banned = np.zeros(n, dtype=bool)  # sticky zero-share clamps
+    new = np.zeros(n)  # clamp scratch, zeroed and refilled per pass
     for _ in range(_inner_iters):
         counts = np.rint(shares * n_rows).astype(int)
         cpu, wire = comm_terms(n, counts, patterns, model)
         active = ~banned
         if not active.any():
             raise DistributionError("no node can take any work")
-        new = np.zeros(n)
+        new[:] = 0.0
         for _clamp in range(n):
             p, c, x = avails[active], cpu[active], wire[active]
             t_star = (total_work + c.sum() + (p * x).sum()) / p.sum()

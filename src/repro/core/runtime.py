@@ -541,13 +541,15 @@ class DynMPI:
         if self.rel_rank() != 0 or self.job.detector is None:
             return ()
         dead = []
+        suspect = self.job.detector.suspect
+        node_of = self.job.comm.node_of
         for w in range(self.ep.size):
             if w in self.dead_world:
                 continue
             proc = self.job.contexts[w].proc if w < len(self.job.contexts) else None
             if proc is not None and proc.state == ProcState.DONE:
                 continue
-            if self.job.detector.suspect(self.job.comm.node_of(w)):
+            if suspect(node_of(w)):
                 dead.append(w)
         return tuple(sorted(dead))
 
@@ -577,11 +579,9 @@ class DynMPI:
         if self.world_rank == new_root and self.spec.allow_rejoin:
             for w in parked_dead:
                 self.ep.isend(w, _TOKEN_TAG, ("dead", new_root, None))
+            noop_token = ("noop", new_root, tuple(sorted(self.dead_world)))
             for w in parked_alive:
-                self.ep.isend(
-                    w, _TOKEN_TAG,
-                    ("noop", new_root, tuple(sorted(self.dead_world))),
-                )
+                self.ep.isend(w, _TOKEN_TAG, noop_token)
         detail: dict = {
             "dead_world": list(dead),
             "parked_dead": parked_dead,
@@ -1127,7 +1127,8 @@ class DynMPI:
         group = self.active_group
         n = group.size
         removed = sorted(decision.removed)
-        kept = [r for r in range(n) if r not in removed]
+        removed_set = frozenset(removed)
+        kept = [r for r in range(n) if r not in removed_set]
         min_rows = self.spec.logical_min_rows
         weights = self.row_weights
         # build bounds directly: removed nodes get min_rows rows at their

@@ -270,6 +270,9 @@ def allgather_dissemination(ep: Endpoint, group: Group, value: Any) -> Generator
         dst = group.world((me + k) % n)
         src = group.world((me - k) % n)
         incoming, _ = yield from ep.sendrecv(
+            # wire snapshot: the receiver must not observe keys merged
+            # into `have` after this yield, so the copy is semantic,
+            # not waste  # dynperf: ok
             dst, tag, dict(have), src, tag, nbytes=size
         )
         for key, v in incoming.items():

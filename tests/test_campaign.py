@@ -9,6 +9,9 @@ quarantined — visible in the report — instead of wedging the sweep.
 """
 
 import json
+import pathlib
+import subprocess
+import sys
 
 import pytest
 
@@ -22,7 +25,15 @@ from repro.campaign import (
     run_combo,
     safe_run_combo,
 )
-from repro.campaign.fuzz import SplitMix64, fuzz_one, fuzz_params, run_fuzz
+from repro.campaign.fuzz import (
+    SplitMix64,
+    fuzz_one,
+    fuzz_params,
+    load_corpus,
+    replay_one,
+    run_fuzz,
+    run_replay,
+)
 from repro.campaign.report import render_status, render_summary
 from repro.campaign.results import aggregate_results, render_bench_json
 from repro.campaign.scenarios import (
@@ -355,6 +366,58 @@ def test_fuzz_failure_persisted_with_repro_line(tmp_path, monkeypatch):
     rec = json.loads(lines[0])
     assert rec["repro"] == "python -m repro.campaign fuzz --seed 7 --index 0"
     assert "FAIL" in report.render()
+
+
+def test_replay_checked_in_corpus_is_clean():
+    # the pinned regression corpus: scenarios that once failed an
+    # invariant must stay fixed forever
+    corpus = pathlib.Path(__file__).parent / "fixtures" / "fuzz" / \
+        "failures.jsonl"
+    report = run_replay(corpus)
+    assert report.clean, report.render()
+    row, = report.rows
+    assert set(row["invariants"]) == {"oracle", "sanitize", "perturb"}
+    assert "drifted" not in row          # generator still derives the slug
+
+
+def test_replay_falls_back_on_generator_drift():
+    row = fuzz_one((0, 24))
+    stale = dict(row)
+    stale["slug"] = "app=ghost,long=gone"  # as if the generator moved on
+    out = replay_one(stale)
+    assert out["drifted"] is True
+    assert out["params"] == row["params"]  # recorded params used verbatim
+    assert out["ok"]
+
+
+def test_replay_corpus_validation(tmp_path):
+    bad = tmp_path / "failures.jsonl"
+    bad.write_text(json.dumps({"seed": 1}) + "\n")
+    with pytest.raises(ValueError, match="missing"):
+        load_corpus(bad)
+    bad.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        load_corpus(bad)
+
+
+def test_replay_cli_exit_codes(tmp_path):
+    corpus = pathlib.Path(__file__).parent / "fixtures" / "fuzz" / \
+        "failures.jsonl"
+    root = pathlib.Path(__file__).parent.parent
+    env = {"PYTHONPATH": str(root / "src")}
+    r = subprocess.run(
+        [sys.executable, "-m", "repro.campaign", "fuzz",
+         "--replay", str(corpus), "--workers", "1"],
+        capture_output=True, text=True, env=env, cwd=root,
+    )
+    assert r.returncode == 0, r.stdout + r.stderr
+    assert "all invariants clean" in r.stdout
+    r = subprocess.run(
+        [sys.executable, "-m", "repro.campaign", "fuzz",
+         "--replay", str(tmp_path / "nope.jsonl")],
+        capture_output=True, text=True, env=env, cwd=root,
+    )
+    assert r.returncode == 2
 
 
 def test_combo_identity_helpers():
