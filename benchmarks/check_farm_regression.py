@@ -1,0 +1,76 @@
+"""Perf-smoke gate for the task farm.
+
+Compares a fresh ``DYNMPI_FARM_SMOKE=1`` run of
+``bench_farm_throughput.py`` (which writes
+``results/BENCH_farm_throughput_smoke.json``) against the checked-in
+full-grid baseline ``results/BENCH_farm_throughput.json`` at the
+shared small cells.  ``jobs/sec`` is simulated throughput — a pure
+function of the code, not the host — so the gate is tight: a smoke
+cell may not fall below ``1/1.25`` of its baseline.  The gate also
+re-asserts the headline claim from the baseline itself: RMA
+self-scheduling beats master-dispatch self-scheduling at the largest
+rank count.
+
+Usage (what the CI farm-smoke job runs)::
+
+    DYNMPI_FARM_SMOKE=1 python -m pytest benchmarks/bench_farm_throughput.py -q
+    python benchmarks/check_farm_regression.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+BASELINE = RESULTS / "BENCH_farm_throughput.json"
+SMOKE = RESULTS / "BENCH_farm_throughput_smoke.json"
+ALLOWED_REGRESSION = 1.25
+
+
+def _rates(path: pathlib.Path) -> dict:
+    cells = json.loads(path.read_text())["data"]
+    return {
+        (c["policy"], c["ranks"], c["n_jobs"], c["churn"]): c["jobs_per_sec"]
+        for c in cells
+    }
+
+
+def main() -> int:
+    for path in (BASELINE, SMOKE):
+        if not path.exists():
+            print(f"farm-regression: missing {path}", file=sys.stderr)
+            return 2
+    baseline = _rates(BASELINE)
+    smoke = _rates(SMOKE)
+    shared = sorted(set(baseline) & set(smoke))
+    if not shared:
+        print("farm-regression: no shared cells between baseline and "
+              "smoke run", file=sys.stderr)
+        return 2
+    failed = False
+    for cell in shared:
+        floor = baseline[cell] / ALLOWED_REGRESSION
+        status = "ok" if smoke[cell] >= floor else "REGRESSED"
+        failed |= status == "REGRESSED"
+        policy, ranks, n_jobs, churn = cell
+        print(f"farm-regression: {policy} ranks={ranks} jobs={n_jobs} "
+              f"churn={churn} {smoke[cell]:.0f} jobs/sec vs baseline "
+              f"{baseline[cell]:.0f} (floor {floor:.0f}) {status}")
+
+    # the headline acceptance claim, gated on the checked-in baseline
+    top_ranks = max(r for (_, r, _, _) in baseline)
+    rma = max(v for (p, r, _, c), v in baseline.items()
+              if p == "rma" and r == top_ranks and c == 0)
+    master = max(v for (p, r, _, c), v in baseline.items()
+                 if p == "self" and r == top_ranks and c == 0)
+    verdict = "ok" if rma > master else "VIOLATED"
+    failed |= verdict == "VIOLATED"
+    print(f"farm-regression: rma {rma:.0f} vs self {master:.0f} jobs/sec "
+          f"at {top_ranks} ranks ({rma / master:.2f}x) {verdict}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

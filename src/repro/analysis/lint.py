@@ -59,6 +59,16 @@ DYN901   event-queue manipulation in library code (under ``repro``)
          ``call_soon`` / ``Timer.cancel``.  Suppressed with
          ``# dynkern: ok`` (not ``# dynsan: ok``) so an exemption
          names the subsystem that owns the rule
+DYN1101  farm-protocol access in library code (under ``repro``)
+         outside the farm runtime (``farm/``) and the one-sided home
+         (``mpi/rma*.py``): constructing an RMA ``Window(...)`` ad
+         hoc, or passing a raw integer literal from the reserved
+         farm tag band ``[210, 220)`` to an endpoint send/recv —
+         application code splicing into the master/worker
+         conversation corrupts the dispatch protocol; go through
+         ``repro.farm`` (and its named ``TAG_*`` constants) or
+         ``repro.mpi.rma.Window``.  Suppressed with ``# dynfarm: ok``
+         so an exemption names the subsystem that owns the rule
 =======  ==========================================================
 
 Suppress a finding by putting ``# dynsan: ok`` on the offending line.
@@ -138,6 +148,18 @@ CAMPAIGN_SUPPRESS_MARK = ZONES["process"].suppress_mark
 #: suppression marker for DYN901 — the rule belongs to dynkern
 KERNEL_SUPPRESS_MARK = ZONES["kernel"].suppress_mark
 
+#: suppression marker for DYN1101 — the rule belongs to dynfarm
+FARM_SUPPRESS_MARK = ZONES["farm"].suppress_mark
+
+#: the reserved farm wire-protocol tag band (repro.farm.protocol)
+_FARM_TAG_LO, _FARM_TAG_HI = 210, 220
+
+#: endpoint operations whose tag argument DYN1101 inspects
+_FARM_TAG_SINKS = frozenset({
+    "send", "recv", "isend", "irecv", "sendrecv", "iprobe", "probe",
+    "send_rel", "recv_rel", "sendrecv_rel",
+})
+
 #: the event-queue attribute DYN901 guards against out-of-band access
 _KERNEL_HEAP_ATTR = "_heap"
 
@@ -204,7 +226,8 @@ class _Linter(ast.NodeVisitor):
                  row_membership_zone: bool = False,
                  instrumentation_zone: bool = False,
                  process_zone: bool = False,
-                 kernel_zone: bool = False):
+                 kernel_zone: bool = False,
+                 farm_zone: bool = False):
         self.path = path
         self.lines = source.splitlines()
         self.zone = deterministic_zone
@@ -213,6 +236,7 @@ class _Linter(ast.NodeVisitor):
         self.inst_zone = instrumentation_zone
         self.process_zone = process_zone
         self.kernel_zone = kernel_zone
+        self.farm_zone = farm_zone
         self.findings: list[LintFinding] = []
         #: local alias -> real module name (import numpy as np)
         self.aliases: dict[str, str] = {}
@@ -397,6 +421,8 @@ class _Linter(ast.NodeVisitor):
                            f"one hash-set entry per row in a data-plane hot "
                            f"path; use IntervalSet.span "
                            f"(repro.core.intervals) — O(1), not O(rows)")
+        if self.farm_zone:
+            self._check_farm_call(node)
         if self.fault_zone:
             func = node.func
             if isinstance(func, ast.Attribute) and func.attr in _FAULT_METHODS:
@@ -434,6 +460,35 @@ class _Linter(ast.NodeVisitor):
                            f"`{node.func.id}()` (from random) uses the global "
                            f"random state; use a seeded stream")
         self.generic_visit(node)
+
+    # -- DYN1101: farm-protocol access outside its home -----------------
+    def _check_farm_call(self, node: ast.Call) -> None:
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name == "Window":
+            self._emit(node, "DYN1101",
+                       "ad-hoc RMA `Window(...)` construction in library "
+                       "code; one-sided windows belong to repro.mpi.rma "
+                       "(and the farm runtime that consumes them)")
+            return
+        if name not in _FARM_TAG_SINKS:
+            return
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if (
+                isinstance(arg, ast.Constant)
+                and type(arg.value) is int
+                and _FARM_TAG_LO <= arg.value < _FARM_TAG_HI
+            ):
+                self._emit(node, "DYN1101",
+                           f"raw tag {arg.value} is inside the reserved "
+                           f"farm wire-protocol band "
+                           f"[{_FARM_TAG_LO}, {_FARM_TAG_HI}); application "
+                           f"code must not splice into the master/worker "
+                           f"conversation — use repro.farm (TAG_* "
+                           f"constants) or a tag outside the band")
+                return
 
     # -- DYN201: mutable dataclass defaults -----------------------------
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
@@ -513,6 +568,13 @@ def _in_kernel_zone(path: pathlib.Path) -> bool:
     return ZONES["kernel"].contains(path)
 
 
+def _in_farm_zone(path: pathlib.Path) -> bool:
+    """Library code (under ``repro``) outside the farm runtime and the
+    one-sided home (``mpi/rma*.py``): the only place DYN1101 applies.
+    Tests and benchmarks exercise the protocol freely."""
+    return ZONES["farm"].contains(path)
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -523,11 +585,13 @@ def lint_source(
     instrumentation_zone: bool = False,
     process_zone: bool = False,
     kernel_zone: bool = False,
+    farm_zone: bool = False,
 ) -> list[LintFinding]:
     """Lint python ``source``; ``deterministic_zone`` enables DYN101,
     ``fault_injection_zone`` enables DYN301, ``row_membership_zone``
     enables DYN401, ``instrumentation_zone`` enables DYN601,
-    ``process_zone`` enables DYN801, ``kernel_zone`` enables DYN901."""
+    ``process_zone`` enables DYN801, ``kernel_zone`` enables DYN901,
+    ``farm_zone`` enables DYN1101."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -538,7 +602,8 @@ def lint_source(
                      row_membership_zone=row_membership_zone,
                      instrumentation_zone=instrumentation_zone,
                      process_zone=process_zone,
-                     kernel_zone=kernel_zone)
+                     kernel_zone=kernel_zone,
+                     farm_zone=farm_zone)
     linter.visit(tree)
     return sorted(linter.findings, key=lambda f: (f.path, f.line, f.col))
 
@@ -553,6 +618,7 @@ def lint_file(path: pathlib.Path) -> list[LintFinding]:
         instrumentation_zone=_in_instrumentation_zone(path),
         process_zone=_in_process_zone(path),
         kernel_zone=_in_kernel_zone(path),
+        farm_zone=_in_farm_zone(path),
     )
 
 

@@ -32,6 +32,23 @@ and ANY_SOURCE receives that raced with multiple in-flight candidates
 (a warning — wildcard gathers are legitimate, but the match order is
 implementation-defined in real MPI).
 
+**One-sided (RMA) epoch checking.**  The :mod:`repro.mpi.rma` layer
+reports lock/unlock/op events; the sanitizer enforces passive-target
+epoch discipline:
+
+=======  ==========================================================
+code     meaning
+=======  ==========================================================
+DYN1111  unpaired ``unlock`` — no matching ``lock`` epoch is open on
+         that (window, target); also raised at finalize for epochs
+         opened and never closed
+DYN1112  RMA access (put/get/accumulate/fetch_and_op/
+         compare_and_swap) outside any open epoch on its target
+DYN1113  conflicting lock acquisition — an origin requested a second
+         lock on a (window, target) it already holds or is waiting
+         on (nested/double locking self-deadlocks in real MPI)
+=======  ==========================================================
+
 Enabling: ``ClusterSpec(sanitize=True)`` or ``DYNMPI_SANITIZE=1`` in
 the environment (``sanitize=False`` wins over the variable; the
 default ``None`` defers to it).  The sanitizer is strictly opt-in and
@@ -155,6 +172,10 @@ class CommSanitizer:
         self._recvs: dict[int, _RecvRec] = {}      # id(_PendingRecv) -> record
         self._blocked: dict[int, _BlockRec] = {}   # rank -> record
         self._colls: dict[tuple, _CollRec] = {}    # (group gid, tag) -> record
+        #: (origin, window id, target) -> "waiting" | "held" RMA epochs
+        self._rma: dict[tuple[int, int, int], str] = {}
+        #: window id -> window name, for diagnostics
+        self._rma_names: dict[int, str] = {}
         self._dead: set[int] = set()               # ranks whose process died
         self.warnings: list[str] = []
         self.n_sends = 0
@@ -285,6 +306,50 @@ class CommSanitizer:
                 raise CommDeadlockError(cycle, ops)
 
     # ------------------------------------------------------------------
+    # one-sided RMA epochs (called from repro.mpi.rma)
+    # ------------------------------------------------------------------
+    def on_rma_lock_request(self, origin: int, wid: int, name: str,
+                            target: int, shared: bool) -> None:
+        self._rma_names[wid] = name
+        key = (origin, wid, target)
+        state = self._rma.get(key)
+        if state is not None:
+            mode = "holds" if state == "held" else "is already waiting for"
+            raise SanitizerError(
+                f"DYN1113: conflicting lock acquisition on window "
+                f"'{name}' target {target}: origin {origin} requested a "
+                f"{'shared' if shared else 'exclusive'} lock it {mode} — "
+                f"nested locking of the same (window, target) "
+                f"self-deadlocks in real MPI"
+            )
+        self._rma[key] = "waiting"
+
+    def on_rma_lock_granted(self, origin: int, wid: int, name: str,
+                            target: int) -> None:
+        self._rma[(origin, wid, target)] = "held"
+
+    def on_rma_unlock(self, origin: int, wid: int, name: str,
+                      target: int) -> None:
+        key = (origin, wid, target)
+        if self._rma.get(key) != "held":
+            raise SanitizerError(
+                f"DYN1111: unpaired unlock on window '{name}' target "
+                f"{target}: origin {origin} closed an epoch it never "
+                f"opened"
+            )
+        del self._rma[key]
+
+    def on_rma_op(self, origin: int, wid: int, name: str, target: int,
+                  op: str) -> None:
+        if self._rma.get((origin, wid, target)) != "held":
+            raise SanitizerError(
+                f"DYN1112: RMA access outside an epoch: origin {origin} "
+                f"called {op} on window '{name}' target {target} without "
+                f"holding a lock on it — in real MPI the access races "
+                f"with the target's exposure state"
+            )
+
+    # ------------------------------------------------------------------
     # collectives (called from repro.mpi.collectives)
     # ------------------------------------------------------------------
     def on_collective(
@@ -331,6 +396,20 @@ class CommSanitizer:
                 )
             else:
                 report.errors.append(f"unmatched receive: {r.describe()}")
+        for (origin, wid, target), state in sorted(self._rma.items()):
+            name = self._rma_names.get(wid, f"#{wid}")
+            desc = (
+                f"DYN1111: RMA epoch never closed: origin {origin} "
+                f"{'held' if state == 'held' else 'still waited for'} a "
+                f"lock on window '{name}' target {target} at finalize"
+            )
+            if origin in self._dead or target in self._dead:
+                report.warnings.append(
+                    f"RMA epoch abandoned by rank failure: origin "
+                    f"{origin} on window '{name}' target {target}"
+                )
+            else:
+                report.errors.append(desc)
         for (gid, tag), rec in sorted(self._colls.items()):
             if 0 < len(rec.entered) < rec.group_size:
                 report.warnings.append(

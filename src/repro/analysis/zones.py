@@ -21,7 +21,7 @@ Every zone names the subsystem that owns it and the suppression
 marker that waives one of its findings — so an exemption comment
 always names the tool whose rule it silences (``# dynsan: ok``,
 ``# dynrace: ok``, ``# dyncamp: ok``, ``# dynkern: ok``,
-``# dynperf: ok``).
+``# dynperf: ok``, ``# dynfarm: ok``).
 """
 
 from __future__ import annotations
@@ -114,6 +114,13 @@ ZONES: dict[str, Zone] = {
         require_parts=("repro",),
         home_dir="simcluster", home_prefix="rng.py",
     ),
+    # DYN1101: the farm wire protocol (reserved tag band 210-219) and
+    # one-sided Window construction belong to repro.farm / repro.mpi.rma
+    "farm": Zone(
+        name="farm", owner="dynfarm", suppress_mark="dynfarm: ok",
+        require_parts=("repro",), forbid_parts=("farm",),
+        home_dir="mpi", home_prefix="rma",
+    ),
     # DYN1001-1006: dynperf's cost rules run over every analyzed path;
     # the hot *zone* itself is function-level (call-graph reachability,
     # repro.analysis.perf.hotzone), not path-level, so this entry only
@@ -143,6 +150,8 @@ def suppress_mark_for(code: str) -> str:
     digits = code.removeprefix("DYN")
     if len(digits) == 4 and digits.startswith("10"):
         return ZONES["perf"].suppress_mark
+    if len(digits) == 4 and digits.startswith("11"):
+        return ZONES["farm"].suppress_mark
     if len(digits) == 3 and digits[0] in _FAMILY_ZONES:
         return _FAMILY_ZONES[digits[0]].suppress_mark
     return "dynsan: ok"

@@ -1,0 +1,109 @@
+"""The task farm as a fifth evaluated "application".
+
+Unlike the row-distributed apps (Jacobi/SOR/CG/particle) the farm does
+not run through :class:`~repro.core.DynMPIJob` — it has its own elastic
+master/worker launcher (:func:`repro.farm.run_farm`).  This module
+adapts it to the app conventions the campaign expects: a ``*Config``
+dataclass, a ``run_*`` driver, and an oracle factory whose check is the
+farm's headline guarantee — the completed-result digest equals the
+reference digest computed without running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import ConfigError
+from ..farm import (
+    FarmResult,
+    FarmSpec,
+    POLICIES,
+    farm_digest,
+    reference_results,
+    run_farm,
+)
+from ..simcluster import Cluster, LoadScript
+
+__all__ = ["FarmConfig", "farm_spec", "run_farm_app", "farm_oracle", "SKEWS"]
+
+#: the cost-skew profiles :func:`repro.farm.job_cost` understands
+SKEWS = ("uniform", "linear", "hot")
+
+
+@dataclass
+class FarmConfig:
+    """Campaign-facing farm parameters (a strict subset of
+    :class:`~repro.farm.FarmSpec`, with campaign-scale defaults)."""
+
+    n_jobs: int = 200
+    policy: str = "self"
+    chunk: int = 8
+    skew: str = "hot"
+    base_cost: float = 1e4
+    seed: int = 0
+    cycles: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n_jobs <= 0:
+            raise ConfigError(f"farm needs at least one job ({self.n_jobs})")
+        if self.chunk <= 0:
+            raise ConfigError(f"farm chunk must be positive ({self.chunk})")
+        if self.cycles <= 0:
+            raise ConfigError(f"farm cycles must be positive ({self.cycles})")
+        if self.policy not in POLICIES:
+            raise ConfigError(
+                f"unknown farm policy {self.policy!r} (one of {POLICIES})"
+            )
+        if self.skew not in SKEWS:
+            raise ConfigError(
+                f"unknown skew profile {self.skew!r} (one of {SKEWS})"
+            )
+
+
+def farm_spec(cfg: FarmConfig) -> FarmSpec:
+    """Lower a :class:`FarmConfig` to the runtime's spec."""
+    return FarmSpec(
+        n_jobs=cfg.n_jobs,
+        policy=cfg.policy,
+        chunk=cfg.chunk,
+        skew=cfg.skew,
+        base_cost=cfg.base_cost,
+        seed=cfg.seed,
+        cycles=cfg.cycles,
+        name=f"farm-{cfg.policy}",
+    )
+
+
+def run_farm_app(
+    cluster: Cluster,
+    cfg: FarmConfig,
+    *,
+    load_script: Optional[LoadScript] = None,
+    failure_script=None,
+) -> FarmResult:
+    """Run the farm on ``cluster`` under the app calling convention."""
+    return run_farm(
+        cluster,
+        farm_spec(cfg),
+        load_script=load_script,
+        failure_script=failure_script,
+    )
+
+
+def farm_oracle(cfg: FarmConfig) -> Callable[[FarmResult], str]:
+    """Bitwise-identity check: the completed set must digest to exactly
+    what :func:`~repro.farm.reference_results` predicts — regardless of
+    policy, perturbation seed, or churn."""
+    expected = farm_digest(reference_results(cfg.n_jobs, cfg.seed))
+
+    def check(result: FarmResult) -> str:
+        if result.jobs_done != cfg.n_jobs:
+            return (f"farm completed {result.jobs_done} of "
+                    f"{cfg.n_jobs} jobs")
+        if result.digest != expected:
+            return (f"completed-result digest {result.digest} deviates "
+                    f"from reference {expected}")
+        return ""
+
+    return check

@@ -44,15 +44,19 @@ def render_summary(agg: dict) -> str:
     """The per-group summary table for a campaign aggregate."""
     header = (f"campaign {agg['campaign']}: {agg['n_done']}/{agg['n_combos']} "
               f"combos done, {len(agg['skipped'])} quarantined")
+    # farm groups summarize throughput instead of redist/drop counts
     rows = [
         (g["app"], g["n_nodes"], g["count"],
          g["mean_wall_time"], g["min_wall_time"], g["max_wall_time"],
-         g["mean_n_redistributions"], g["mean_n_drops"])
+         g.get("mean_n_redistributions", g.get("mean_jobs_per_sec", 0.0)),
+         g.get("mean_n_drops", g.get("mean_n_requeued", 0.0)))
         for g in agg["groups"]
     ]
+    mixed_farm = any(g["app"] == "farm" for g in agg["groups"])
     table = format_table(
         ("app", "nodes", "combos", "mean_wall", "min_wall", "max_wall",
-         "mean_redist", "mean_drops"),
+         "mean_redist/jps" if mixed_farm else "mean_redist",
+         "mean_drops/req" if mixed_farm else "mean_drops"),
         rows,
     )
     return f"{header}\n{table}" if rows else header

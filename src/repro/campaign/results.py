@@ -83,8 +83,13 @@ def write_bench_json(
 # campaign aggregation
 # ---------------------------------------------------------------------------
 
-#: metric fields summarized per group (must exist in every result row)
+#: metric fields summarized per group (must exist in every result row
+#: of that group; farm rows carry a different metric set than the
+#: phase-structured apps, and groups are keyed by app so never mix)
 _SUMMARY_METRICS = ("wall_time", "n_redistributions", "n_drops")
+_FARM_SUMMARY_METRICS = (
+    "wall_time", "jobs_done", "jobs_per_sec", "n_requeued", "duplicates",
+)
 
 
 def _mean(values: Sequence[float]) -> float:
@@ -117,7 +122,9 @@ def aggregate_results(
     group_rows = []
     for (app, n_nodes), metrics in sorted(groups.items()):
         summary = {"app": app, "n_nodes": n_nodes, "count": len(metrics)}
-        for field in _SUMMARY_METRICS:
+        fields = (_FARM_SUMMARY_METRICS if app == "farm"
+                  else _SUMMARY_METRICS)
+        for field in fields:
             values = [float(m[field]) for m in metrics]
             summary[f"mean_{field}"] = _mean(values)
             summary[f"min_{field}"] = min(values)

@@ -40,6 +40,8 @@ def run_combo(params: dict) -> dict:
     slug = combo_slug(params)
     full = resolve_params(params)
     built = build_scenario(full)
+    if built.farm_cfg is not None:
+        return _run_farm_combo(slug, params, built)
     cluster = Cluster(built.cluster_spec)
     if built.failure_script is not None:
         cluster.install_failure_script(built.failure_script)
@@ -64,6 +66,38 @@ def run_combo(params: dict) -> dict:
     checks = {}
     if built.oracle is not None:
         err = built.oracle(result.per_rank)
+        checks["oracle"] = err or "ok"
+        if err:
+            raise AssertionError(f"oracle violation: {err}")
+    return {"slug": slug, "params": dict(params),
+            "metrics": metrics, "checks": checks}
+
+
+def _run_farm_combo(slug: str, params: dict, built) -> dict:
+    """Farm combos run through the elastic farm launcher; the oracle is
+    the completed-result digest against the computed reference."""
+    from ..apps.farm import run_farm_app  # deferred, like run_program
+
+    cluster = Cluster(built.cluster_spec)
+    result = run_farm_app(
+        cluster,
+        built.farm_cfg,
+        load_script=built.load_script,
+        failure_script=built.failure_script,
+    )
+    metrics = {
+        "wall_time": float(result.wall_time),
+        "jobs_done": int(result.jobs_done),
+        "jobs_per_sec": float(result.jobs_per_sec),
+        "n_requeued": int(result.n_requeued),
+        "duplicates": int(result.duplicates),
+        "park_events": int(result.park_events),
+        "readmit_events": int(result.readmit_events),
+        "dead_workers": len(result.dead_workers),
+    }
+    checks = {}
+    if built.oracle is not None:
+        err = built.oracle(result)
         checks["oracle"] = err or "ok"
         if err:
             raise AssertionError(f"oracle violation: {err}")

@@ -6,7 +6,8 @@ full parameter assignment fits into a slug and a repro command line:
 =============  ==========================================================
 param          meaning (default)
 =============  ==========================================================
-``app``        ``jacobi`` | ``sor`` | ``cg`` | ``particle`` (jacobi)
+``app``        ``jacobi`` | ``sor`` | ``cg`` | ``particle`` | ``farm``
+               (jacobi)
 ``n_nodes``    cluster size (4)
 ``size``       linear problem dimension (24)
 ``cycles``     phase cycles / iterations (8)
@@ -18,7 +19,20 @@ param          meaning (default)
 ``perturb``    0 = off, else a PR-6 schedule-perturbation seed (0)
 ``check``      0/1 — verify the run against its sequential
                reference oracle (1)
+``policy``     farm only: loop-scheduling policy, one of
+               :data:`repro.farm.POLICIES` (self)
+``n_jobs``     farm only: jobs in the farm (200)
+``skew``       farm only: job-cost profile,
+               ``uniform`` | ``linear`` | ``hot`` (hot)
+``chunk``      farm only: fixed chunk size for self/rma dispatch (8)
 =============  ==========================================================
+
+The ``farm`` app reuses the trigger DSL unchanged, with two extra
+rules: the master lives on node 0, so faults and load targeting node 0
+are rejected (the farm tolerates worker churn, not master loss), and a
+``crash`` fault is lowered to a fail-stop ``kill`` of the node's
+worker process — the farm requeues its in-flight jobs instead of going
+through the buddy-checkpoint recovery recipe.
 
 Load DSL — ``+``-separated triggers, each
 ``n<node>@c<cycle>[x<count>][-c<stop_cycle>]``:
@@ -43,7 +57,7 @@ fuzzer, and unit tests.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Optional
 
 import numpy as np
@@ -61,6 +75,8 @@ from ..apps import (
 )
 from ..apps import jacobi as jacobi_mod
 from ..apps import sor as sor_mod
+from ..apps.farm import SKEWS, FarmConfig, farm_oracle
+from ..farm import POLICIES
 from ..apps.reference import (
     cg_matrix_dense,
     cg_reference,
@@ -89,7 +105,7 @@ __all__ = [
     "resolve_params",
 ]
 
-APP_NAMES = ("jacobi", "sor", "cg", "particle")
+APP_NAMES = ("jacobi", "sor", "cg", "particle", "farm")
 
 SCENARIO_DEFAULTS = {
     "app": "jacobi",
@@ -103,6 +119,11 @@ SCENARIO_DEFAULTS = {
     "observe": 0,
     "perturb": 0,
     "check": 1,
+    # farm-only axes (ignored by the grid apps)
+    "policy": "self",
+    "n_jobs": 200,
+    "skew": "hot",
+    "chunk": 8,
 }
 
 _TRIGGER_RE = re.compile(
@@ -182,8 +203,11 @@ def resolve_params(params: dict) -> dict:
     full.update(params)
     full["app"] = str(full["app"])
     for key in ("n_nodes", "size", "cycles", "seed",
-                "sanitize", "observe", "perturb", "check"):
+                "sanitize", "observe", "perturb", "check",
+                "n_jobs", "chunk"):
         full[key] = int(full[key])
+    full["policy"] = str(full["policy"])
+    full["skew"] = str(full["skew"])
     if full["app"] not in APP_NAMES:
         raise ConfigError(
             f"unknown app {full['app']!r} (one of {APP_NAMES})"
@@ -192,7 +216,37 @@ def resolve_params(params: dict) -> dict:
         raise ConfigError("n_nodes must be >= 1")
     if full["size"] < 8 or full["cycles"] < 1:
         raise ConfigError("size must be >= 8 and cycles >= 1")
+    if full["policy"] not in POLICIES:
+        raise ConfigError(
+            f"unknown farm policy {full['policy']!r} (one of {POLICIES})"
+        )
+    if full["skew"] not in SKEWS:
+        raise ConfigError(
+            f"unknown skew profile {full['skew']!r} (one of {SKEWS})"
+        )
+    if full["n_jobs"] < 1 or full["chunk"] < 1:
+        raise ConfigError("n_jobs and chunk must be >= 1")
+    if full["app"] == "farm":
+        if full["n_nodes"] < 2:
+            raise ConfigError("the farm needs n_nodes >= 2 (master + worker)")
+        _reject_master_node(full)
     return full
+
+
+def _reject_master_node(full: dict) -> None:
+    """The farm master is rank 0 on node 0: churn there is not worker
+    elasticity but master loss, which the farm (by design) does not
+    survive — reject it at scenario-construction time."""
+    for kind, spec in (("load", full["load"]), ("failure", full["failure"])):
+        if not spec or spec == "none":
+            continue
+        for part in spec.split("+"):
+            trigger = part.partition(":")[2] if kind == "failure" else part
+            if _parse_trigger(trigger)[0] == 0:
+                raise ConfigError(
+                    f"farm scenarios cannot target node 0 ({kind} "
+                    f"{part!r}): node 0 hosts the master"
+                )
 
 
 @dataclass
@@ -207,6 +261,10 @@ class BuiltScenario:
     failure_script: Optional[FailureScript]
     #: sequential-reference check: (per_rank results) -> error string or ""
     oracle: Optional[Callable]
+    #: set for ``app=farm``: the combo runs through
+    #: :func:`repro.apps.farm.run_farm_app` instead of ``run_program``
+    #: (and ``oracle`` then takes the :class:`~repro.farm.FarmResult`)
+    farm_cfg: Optional[FarmConfig] = None
 
 
 def _app_setup(full: dict, check: bool):
@@ -281,10 +339,50 @@ def _cg_oracle(cfg: CGConfig) -> Callable:
     return check
 
 
+def _farm_scenario(full: dict, check: bool) -> BuiltScenario:
+    """Scenario construction for ``app=farm``: no DynMPIJob, no
+    resilience recipe — churn flows through the farm's own requeue
+    machinery, so a ``crash`` fault is lowered to a fail-stop ``kill``
+    of the node's worker."""
+    cfg = FarmConfig(
+        n_jobs=full["n_jobs"], policy=full["policy"], chunk=full["chunk"],
+        skew=full["skew"], seed=full["seed"], cycles=full["cycles"],
+    )
+    failure = parse_failure(full["failure"])
+    if failure is not None:
+        failure = FailureScript(cycle_faults=[
+            replace(f, action="kill") if f.action == "crash" else f
+            for f in failure.cycle_faults
+        ])
+    cluster_spec = ClusterSpec(
+        n_nodes=full["n_nodes"],
+        node=NodeSpec(speed=1e8),
+        network=NetworkSpec(latency=75e-6, bandwidth=12.5e6,
+                            cpu_per_byte=0.01, cpu_per_msg=50.0),
+        seed=full["seed"],
+        name="campaign-farm",
+        sanitize=True if full["sanitize"] else None,
+        observe=True if full["observe"] else None,
+        perturb=full["perturb"] or None,
+    )
+    return BuiltScenario(
+        cluster_spec=cluster_spec,
+        program=None,
+        cfg=cfg,
+        spec=RuntimeSpec(),
+        load_script=parse_load(full["load"]),
+        failure_script=failure,
+        oracle=farm_oracle(cfg) if check else None,
+        farm_cfg=cfg,
+    )
+
+
 def build_scenario(params: dict) -> BuiltScenario:
     """Construct the full scenario for a (possibly partial) assignment."""
     full = resolve_params(params)
     check = bool(full["check"])
+    if full["app"] == "farm":
+        return _farm_scenario(full, check)
     crash = has_crash(full["failure"])
     program, cfg, oracle = _app_setup(full, check)
 

@@ -112,3 +112,8 @@ class AllocationError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid cluster/network/runtime configuration."""
+
+
+class FarmError(ReproError):
+    """The task farm cannot make progress (e.g. every worker died
+    with jobs outstanding)."""

@@ -1,0 +1,434 @@
+"""The elastic task-farm runtime: master, workers, and the driver.
+
+One master (rank 0) and ``size - 1`` workers run the protocol from
+:mod:`repro.farm.protocol`.  Master-dispatch policies round-trip every
+chunk through the master; the ``rma`` policy instead lets workers
+claim chunks off a shared loop counter in the master's
+:class:`~repro.mpi.rma.Window` with one-sided ``fetch_and_op`` — the
+master only *consumes* results, it never sits on the dispatch path.
+
+Elasticity model (how churn maps onto the farm):
+
+* **crash** — a worker killed by a ``FailureScript`` is detected via
+  the communicator's dead-rank poisoning; its in-flight chunk is
+  requeued once (jobs already completed are skipped; a DONE still in
+  flight at requeue time is deduplicated by the completed set).
+* **park** — a worker whose node a ``LoadScript`` loads is parked:
+  the master stops dispatching to it (RMA workers get a ``PARK``
+  message and fall back to the dispatch loop) and its in-flight chunk
+  is requeued once.  The worker still finishes that chunk — slowly,
+  sharing its CPU — and the duplicate completions are deduplicated.
+* **re-admit** — when the load clears, the worker is unparked and
+  served chunks again.
+
+The master never blocks in ``recv``: it probes its mailbox, consumes
+what is there, and sleeps ``poll_dt`` otherwise — so it always notices
+deaths, load changes, and phase transitions.  The completed-result set
+is bitwise-identical across policies, perturbation seeds, and churn
+because job results are pure functions of the job id (see
+:mod:`repro.farm.jobs`); the tests and the campaign oracle hold the
+digest to that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError, FarmError
+from ..mpi import ANY_TAG, make_comm
+from ..mpi.rma import Window
+from ..simcluster import Compute, Sleep
+from .jobs import JobQueue, farm_digest, job_cost, job_result
+from .policies import make_policy
+from .protocol import (
+    TAG_DONE,
+    TAG_EXIT,
+    TAG_PARK,
+    TAG_READY,
+    TAG_START,
+    done_nbytes,
+    start_nbytes,
+)
+
+__all__ = ["FarmSpec", "FarmResult", "run_farm"]
+
+#: window layout for the rma policy: slot 0 is the shared loop counter
+_COUNTER_SLOT = 0
+_WIN_SLOTS = 2
+
+
+@dataclass(frozen=True)
+class FarmSpec:
+    """Parameters of one farm run."""
+
+    n_jobs: int = 1000
+    policy: str = "self"        # static | self | guided | factoring | rma
+    chunk: int = 8              # chunk size for self/rma dispatch
+    skew: str = "hot"           # uniform | linear | hot (see jobs.job_cost)
+    base_cost: float = 1e4      # work units per job before skew
+    seed: int = 0               # result seed (job_result values)
+    cycles: int = 8             # notify_cycle boundaries across the run
+    poll_dt: float = 2e-4       # master poll interval, simulated seconds
+    min_workers: int = 1        # never park below this many active workers
+    name: str = "farm"
+
+    def validate(self) -> None:
+        if self.n_jobs <= 0:
+            raise ConfigError(f"farm needs at least one job ({self.n_jobs})")
+        if self.chunk <= 0:
+            raise ConfigError(f"farm chunk must be positive ({self.chunk})")
+        if self.cycles <= 0:
+            raise ConfigError(f"farm cycles must be positive ({self.cycles})")
+        if self.skew not in ("uniform", "linear", "hot"):
+            raise ConfigError(f"unknown skew profile {self.skew!r}")
+
+
+@dataclass
+class FarmResult:
+    """Everything a run produced, plus the accounting churn leaves."""
+
+    spec: FarmSpec
+    completed: dict[int, int]
+    digest: str
+    wall_time: float
+    per_worker: dict[int, int] = field(default_factory=dict)
+    duplicates: int = 0
+    n_requeued: int = 0
+    requeued: dict[int, int] = field(default_factory=dict)
+    park_events: int = 0
+    readmit_events: int = 0
+    dead_workers: list[int] = field(default_factory=list)
+
+    @property
+    def jobs_done(self) -> int:
+        return len(self.completed)
+
+    @property
+    def jobs_per_sec(self) -> float:
+        """Simulated throughput: completed jobs per simulated second."""
+        return self.jobs_done / self.wall_time if self.wall_time > 0 else 0.0
+
+
+class _MasterState:
+    """Mutable farm bookkeeping shared between master and driver."""
+
+    def __init__(self, spec: FarmSpec, workers: list[int]):
+        self.completed: dict[int, int] = {}
+        self.per_worker: dict[int, int] = {r: 0 for r in workers}
+        self.duplicates = 0
+        self.park_events = 0
+        self.readmit_events = 0
+        self.dead: set[int] = set()
+        rma = spec.policy == "rma"
+        self.queue = JobQueue(() if rma else range(spec.n_jobs))
+
+
+def _chunk_work(jobs: list[int], spec: FarmSpec) -> float:
+    total = 0.0
+    for j in jobs:
+        total += job_cost(j, spec.n_jobs, spec.base_cost, spec.skew)
+    return total
+
+
+def _chunk_results(jobs: list[int], spec: FarmSpec) -> list[tuple[int, int]]:
+    return [(j, job_result(j, spec.seed)) for j in jobs]
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+def _farm_worker(ep, win, spec: FarmSpec):
+    """Worker body: RMA counter phase (policy ``rma``), then the
+    classic dispatch loop until EXIT."""
+    obs = ep.comm.obs
+    master = 0
+    stats = {"jobs": 0, "chunks": 0}
+
+    if spec.policy == "rma":
+        yield from _rma_phase(ep, win, spec, stats)
+        yield from ep.send(master, TAG_READY, None)
+    else:
+        yield from ep.send(master, TAG_READY, None)
+
+    while True:
+        payload, status = yield from ep.recv(master, ANY_TAG)
+        if status.tag == TAG_EXIT:
+            break
+        if status.tag == TAG_PARK:
+            continue  # already out of the counter phase: nothing to stop
+        jobs = payload
+        t0 = obs.now() if obs is not None else 0.0
+        yield Compute(_chunk_work(jobs, spec))
+        results = _chunk_results(jobs, spec)
+        if obs is not None:
+            obs.complete("farm.chunk", t0, cat="farm", pid=ep.node_id,
+                         tid=ep.rank, jobs=len(jobs))
+        yield from ep.send(master, TAG_DONE, results,
+                           nbytes=done_nbytes(len(results)))
+        stats["jobs"] += len(jobs)
+        stats["chunks"] += 1
+    return stats
+
+
+def _rma_phase(ep, win, spec: FarmSpec, stats: dict):
+    """Decentralized self-scheduling: claim fixed chunks off the
+    master's loop counter with one-sided fetch_and_op; report each
+    chunk with a fire-and-forget DONE.  Leaves on counter exhaustion
+    or a PARK message."""
+    obs = ep.comm.obs
+    master = 0
+    h = win.origin(ep.rank)
+    yield from h.lock(master, shared=True)
+    n = spec.n_jobs
+    while True:
+        if ep.iprobe(master, TAG_PARK) is not None:
+            yield from ep.recv(master, TAG_PARK)
+            break
+        start = yield from h.fetch_and_op(master, _COUNTER_SLOT, spec.chunk)
+        if start >= n:
+            break
+        jobs = list(range(start, min(n, start + spec.chunk)))
+        t0 = obs.now() if obs is not None else 0.0
+        yield Compute(_chunk_work(jobs, spec))
+        results = _chunk_results(jobs, spec)
+        if obs is not None:
+            obs.complete("farm.chunk", t0, cat="farm", pid=ep.node_id,
+                         tid=ep.rank, jobs=len(jobs))
+        # fire-and-forget: the master consumes this without replying,
+        # so the worker goes straight back to the counter
+        ep.isend(master, TAG_DONE, results, nbytes=done_nbytes(len(results)))
+        stats["jobs"] += len(jobs)
+        stats["chunks"] += 1
+    yield from h.unlock(master)
+
+
+# ---------------------------------------------------------------------------
+# master side
+# ---------------------------------------------------------------------------
+
+def _farm_master(ep, win, cluster, spec: FarmSpec, state: _MasterState):
+    comm = ep.comm
+    obs = comm.obs
+    workers = list(range(1, comm.size))
+    rma_mode = spec.policy == "rma"
+    n_jobs = spec.n_jobs
+    queue = state.queue
+    completed = state.completed
+    policy = make_policy(spec.policy, n_jobs, len(workers), spec.chunk)
+
+    ready: set[int] = set()
+    inflight: dict[int, list[int]] = {}
+    parked: set[int] = set()
+    #: rma: workers still claiming off the counter (none in classic)
+    counter_live: set[int] = set(workers) if rma_mode else set()
+    rma_drained = not rma_mode
+
+    jobs_per_cycle = max(1, n_jobs // spec.cycles)
+    next_cycle = 1
+
+    def merge(src: int, results) -> None:
+        for j, r in results:
+            if j in completed:
+                state.duplicates += 1
+            else:
+                completed[j] = r
+                state.per_worker[src] = state.per_worker.get(src, 0) + 1
+        if obs is not None and results:
+            obs.rank_registry(0).count("farm.jobs_done", len(results))
+
+    while True:
+        progressed = False
+
+        # -- consume everything queued at the master -------------------
+        while ep.iprobe() is not None:
+            # wildcard receive: messages from since-dead workers stay
+            # consumable, and multi-source ties take the perturbable
+            # path — the consumer keys everything by status.source and
+            # dedups by the completed set, so the pick cannot change
+            # the result (test_perturb_invariance_across_seeds)
+            payload, status = yield from ep.recv()  # dynrace: ok
+            src, tag = status.source, status.tag
+            progressed = True
+            if tag == TAG_READY:
+                ready.add(src)
+                counter_live.discard(src)
+            elif tag == TAG_DONE:
+                merge(src, payload)
+                inflight.pop(src, None)
+                # counter-phase DONEs are fire-and-forget chunk reports;
+                # a dispatched worker's DONE doubles as its next READY
+                if src not in counter_live:
+                    ready.add(src)
+
+        # -- deaths ----------------------------------------------------
+        for r in comm.dead_ranks():
+            if r in state.dead or r == 0:
+                continue
+            state.dead.add(r)
+            ready.discard(r)
+            parked.discard(r)
+            counter_live.discard(r)
+            lost = [j for j in inflight.pop(r, []) if j not in completed]
+            if lost:
+                queue.requeue(lost)
+            if obs is not None:
+                obs.instant("farm.crash_requeue", cat="farm", pid=-1, tid=0,
+                            worker=r, requeued=len(lost))
+            progressed = True
+
+        live = [r for r in workers if r not in state.dead]
+        if not live and len(completed) < n_jobs:
+            raise FarmError(
+                f"farm '{spec.name}': every worker died with "
+                f"{n_jobs - len(completed)} job(s) outstanding"
+            )
+
+        # -- load-driven parking / re-admission ------------------------
+        counts = cluster.competing_counts()
+        desired = {r for r in live if counts[comm.node_of(r)] > 0}
+        excess = len(live) - len(desired)
+        if excess < spec.min_workers:
+            for r in sorted(desired)[:spec.min_workers - excess]:
+                desired.discard(r)
+        for r in sorted(desired - parked):
+            parked.add(r)
+            state.park_events += 1
+            if r in counter_live and not comm.rank_failed(r):
+                yield from ep.send(r, TAG_PARK, None)
+            lost = [j for j in inflight.pop(r, []) if j not in completed]
+            if lost:
+                queue.requeue(lost)
+            if obs is not None:
+                obs.instant("farm.park", cat="farm", pid=-1, tid=0, worker=r,
+                            requeued=len(lost))
+            progressed = True
+        for r in sorted(parked - desired):
+            parked.discard(r)
+            state.readmit_events += 1
+            if obs is not None:
+                obs.instant("farm.readmit", cat="farm", pid=-1, tid=0, worker=r)
+            progressed = True
+
+        # -- rma phase end: account for jobs lost to dead claimants ----
+        if not rma_drained and not counter_live:
+            rma_drained = True
+            claimed = min(n_jobs, int(win.local(0)[_COUNTER_SLOT]))
+            lost = [j for j in range(claimed) if j not in completed]
+            if lost:
+                queue.requeue(lost)
+            if claimed < n_jobs:
+                queue.extend(range(claimed, n_jobs))
+            if obs is not None:
+                obs.instant("farm.drain", cat="farm", pid=-1, tid=0,
+                            claimed=claimed, requeued=len(lost))
+            progressed = True
+
+        # -- cycle boundaries (drive Load/Failure cycle triggers) ------
+        while (next_cycle <= spec.cycles
+               and len(completed) >= next_cycle * jobs_per_cycle):
+            cluster.notify_cycle(next_cycle)
+            next_cycle += 1
+
+        # -- dispatch --------------------------------------------------
+        if len(queue):
+            active = max(1, len([r for r in live if r not in parked]))
+            for r in sorted(ready):
+                # the snapshot in state.dead can go stale mid-loop: a
+                # deferred kill may land during a previous dispatch's
+                # send, so re-check liveness right before each send
+                if (r in parked or r in state.dead
+                        or comm.rank_failed(r) or not len(queue)):
+                    continue
+                jobs = queue.take(policy.next_chunk(len(queue), active))
+                if not jobs:
+                    break
+                inflight[r] = jobs
+                ready.discard(r)
+                yield from ep.send(r, TAG_START, jobs,
+                                   nbytes=start_nbytes(len(jobs)))
+                if obs is not None:
+                    obs.rank_registry(0).count("farm.dispatches", 1)
+                progressed = True
+
+        # -- done? -----------------------------------------------------
+        if (len(completed) >= n_jobs and rma_drained
+                and all(r in ready for r in live)):
+            break
+        if not progressed:
+            yield Sleep(spec.poll_dt)
+
+    # late cycle boundaries (tiny farms may complete inside cycle 1)
+    while next_cycle <= spec.cycles:
+        cluster.notify_cycle(next_cycle)
+        next_cycle += 1
+
+    for r in sorted(set(workers) - state.dead):
+        if not comm.rank_failed(r):
+            yield from ep.send(r, TAG_EXIT, None)
+    return len(completed)
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+def run_farm(cluster, spec: FarmSpec, *, load_script=None,
+             failure_script=None, rank_to_node=None) -> FarmResult:
+    """Run one farm on ``cluster``; returns the :class:`FarmResult`.
+
+    Rank 0 (the master) lives on node 0 by default; every other node
+    hosts one worker.  ``load_script``/``failure_script`` are
+    installed before the run when given — their cycle triggers fire at
+    the farm's completion-count boundaries (``spec.cycles`` per run),
+    their time triggers at the scheduled simulated times.
+    """
+    spec.validate()
+    comm = make_comm(cluster, rank_to_node)
+    if comm.size < 2:
+        raise ConfigError("a farm needs a master and at least one worker")
+    if load_script is not None:
+        cluster.install_load_script(load_script)
+    if failure_script is not None:
+        cluster.install_failure_script(failure_script)
+
+    win = Window(comm, _WIN_SLOTS, name=spec.name)
+    state = _MasterState(spec, list(range(1, comm.size)))
+
+    procs = []
+    for rank in range(comm.size):
+        ep = comm.endpoint(rank)
+        if rank == 0:
+            gen = _farm_master(ep, win, cluster, spec, state)
+        else:
+            gen = _farm_worker(ep, win, spec)
+        node = cluster.nodes[comm.node_of(rank)]
+        proc = cluster.sim.spawn(gen, name=f"farm{rank}", node=node)
+        comm.watch_rank(rank, proc)
+        cluster.register_app_proc(node.node_id, proc)
+        procs.append(proc)
+
+    board = cluster.failure_board
+
+    def expected_death(proc) -> bool:
+        rank = procs.index(proc)
+        return board.failed(comm.node_of(rank))
+
+    t0 = cluster.sim.now
+    cluster.sim.run_all(procs, tolerate=expected_death)
+    if cluster.sanitizer is not None:
+        cluster.sanitizer.finalize()
+
+    return FarmResult(
+        spec=spec,
+        completed=state.completed,
+        digest=farm_digest(state.completed),
+        wall_time=cluster.sim.now - t0,
+        per_worker=dict(sorted(state.per_worker.items())),
+        duplicates=state.duplicates,
+        n_requeued=state.queue.n_requeued,
+        requeued=dict(sorted(state.queue.requeued.items())),
+        park_events=state.park_events,
+        readmit_events=state.readmit_events,
+        dead_workers=sorted(state.dead),
+    )

@@ -10,6 +10,7 @@ from .comm import Endpoint, Request, SimComm
 from .datatypes import LAND, LOR, MAX, MIN, PROD, SUM, ReduceOp, payload_nbytes
 from .group import Group
 from .launcher import make_comm, run_spmd
+from .rma import RmaHandle, Window
 from .status import ANY_SOURCE, ANY_TAG, Status
 
 __all__ = [
@@ -31,4 +32,6 @@ __all__ = [
     "collectives",
     "run_spmd",
     "make_comm",
+    "Window",
+    "RmaHandle",
 ]

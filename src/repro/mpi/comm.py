@@ -149,6 +149,9 @@ class SimComm:
         self._seq = itertools.count()
         #: ranks whose process died (resilience fail-fast poisoning)
         self._dead: set[int] = set()
+        #: RMA windows (repro.mpi.rma) registered on this communicator;
+        #: rank death must release their lock state too
+        self._windows: list = []
         # communication sanitizer (repro.analysis), or None when off
         self.san = getattr(cluster, "sanitizer", None)
         # dynscope trace recorder (repro.obs), or None when off
@@ -227,6 +230,10 @@ class SimComm:
         self._dead.add(rank)
         if self.san is not None:
             self.san.mark_dead(rank)
+        # RMA windows: release the dead rank's lock holds and queued
+        # lock requests so survivors' epochs can still be granted
+        for win in self._windows:
+            win._on_rank_dead(rank)
         # the dead rank's own posted receives can never be resumed
         self._pending[rank].clear()
         # senders parked in a rendezvous with the dead receiver unblock

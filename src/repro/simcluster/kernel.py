@@ -216,7 +216,7 @@ class SimProcess:
 
     __slots__ = (
         "name", "gen", "node", "state", "cpu_time", "result", "error",
-        "done_signal", "sim", "daemon", "_wait_cbs",
+        "done_signal", "sim", "daemon", "_wait_cbs", "cpu_job",
     )
 
     def __init__(self, name: str, gen: Generator[Syscall, Any, Any], *, daemon: bool = False):
@@ -231,6 +231,7 @@ class SimProcess:
         self.sim: Optional[Simulator] = None
         self.daemon = daemon
         self._wait_cbs: list[tuple[Signal, Callable]] = []
+        self.cpu_job = None  # in-flight CPU Job while a Compute is outstanding
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<SimProcess {self.name} {self.state}>"
@@ -396,10 +397,25 @@ class Simulator:
             raise
         self._dispatch(proc, request)
 
+    def _abandon_cpu_job(self, proc: SimProcess) -> None:
+        """Cancel ``proc``'s outstanding compute, if any.
+
+        A process killed (or thrown into) mid-``Compute`` leaves a live
+        job on its node's CPU; without cancellation that job completes
+        later, clobbers the terminal state back to BLOCKED and resumes a
+        closed generator — firing ``done_signal`` a second time.
+        """
+        job = proc.cpu_job
+        if job is not None:
+            proc.cpu_job = None
+            if not job.cancelled and proc.node is not None:
+                proc.node.cpu.cancel(job)
+
     def _throw(self, proc: SimProcess, exc: BaseException) -> None:
         """Inject an exception into ``proc`` (used for fault injection)."""
         if proc.state in (ProcState.DONE, ProcState.FAILED):
             return
+        self._abandon_cpu_job(proc)
         try:
             request = proc.gen.throw(exc)
         except StopIteration as stop:
@@ -432,6 +448,7 @@ class Simulator:
         self.call_soon(do_kill)
 
     def _finish(self, proc: SimProcess, result: Any, error: Optional[BaseException]) -> None:
+        self._abandon_cpu_job(proc)
         proc.result = result
         proc.error = error
         proc.state = ProcState.FAILED if error is not None else ProcState.DONE
@@ -449,7 +466,9 @@ class Simulator:
                     f"process {proc.name} is not attached to a node but asked to compute"
                 )
             proc.state = ProcState.READY
-            proc.node.cpu.submit(proc, request.work, self._resume_done, proc)
+            proc.cpu_job = proc.node.cpu.submit(
+                proc, request.work, self._resume_done, proc
+            )
         elif isinstance(request, Wait):
             proc.state = ProcState.BLOCKED
             request.signal._add_waiter2(self._wake, proc)
@@ -498,6 +517,7 @@ class Simulator:
 
     def _resume_done(self, proc: SimProcess) -> None:
         """Compute-completion callback (pre-bound, no per-submit closure)."""
+        proc.cpu_job = None
         self._resume(proc, None)
 
     # ------------------------------------------------------------------

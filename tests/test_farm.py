@@ -1,0 +1,234 @@
+"""dynfarm: the elastic task farm.
+
+Pins the subsystem's acceptance invariants: every policy completes the
+full job set with a digest bitwise-identical to the computed reference;
+a worker crashed mid-job has its in-flight chunk requeued exactly once
+and the completed set still matches an undisturbed run; the digest is
+invariant under ``DYNMPI_PERTURB`` schedule perturbation; parked
+workers are re-admitted; and total worker loss raises ``FarmError``
+instead of hanging.
+"""
+
+import pytest
+
+from repro.apps.farm import FarmConfig, farm_oracle, run_farm_app
+from repro.campaign import run_combo
+from repro.config import ClusterSpec
+from repro.errors import ConfigError, FarmError
+from repro.farm import (
+    POLICIES,
+    FarmSpec,
+    JobQueue,
+    farm_digest,
+    reference_results,
+    run_farm,
+)
+from repro.resilience import CycleFault, FailureScript
+from repro.simcluster import Cluster, CycleTrigger, LoadScript
+
+N_JOBS = 200
+SEED = 0
+REFERENCE = farm_digest(reference_results(N_JOBS, SEED))
+
+
+def small_cluster(n=6, **kw):
+    return Cluster(ClusterSpec(n_nodes=n, seed=SEED, **kw))
+
+
+def small_spec(policy, **kw):
+    kw.setdefault("n_jobs", N_JOBS)
+    kw.setdefault("seed", SEED)
+    kw.setdefault("chunk", 8)
+    kw.setdefault("cycles", 6)
+    return FarmSpec(policy=policy, **kw)
+
+
+# ----------------------------------------------------------------------
+# completeness + cross-policy digest identity
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_policy_completes_with_reference_digest(policy):
+    result = run_farm(small_cluster(sanitize=True), small_spec(policy))
+    assert result.jobs_done == N_JOBS
+    assert result.digest == REFERENCE
+    assert result.duplicates == 0
+    assert result.n_requeued == 0
+    # every completed job ran on some worker
+    assert sum(result.per_worker.values()) >= N_JOBS
+
+
+def test_digest_identical_across_policies_and_skews():
+    digests = {
+        (policy, skew): run_farm(
+            small_cluster(), small_spec(policy, skew=skew)
+        ).digest
+        for policy in POLICIES
+        for skew in ("uniform", "hot")
+    }
+    assert set(digests.values()) == {REFERENCE}
+
+
+# ----------------------------------------------------------------------
+# elasticity: crash requeue, perturbation, park/readmit
+# ----------------------------------------------------------------------
+
+def test_crash_mid_job_requeues_and_matches_undisturbed_run():
+    undisturbed = run_farm(small_cluster(), small_spec("self"))
+    failure = FailureScript(cycle_faults=[
+        CycleFault(cycle=2, node=3, action="kill"),
+    ])
+    crashed = run_farm(small_cluster(sanitize=True), small_spec("self"),
+                       failure_script=failure)
+    assert crashed.jobs_done == N_JOBS
+    # the completed map — not just its digest — is bitwise-identical
+    assert crashed.completed == undisturbed.completed
+    assert crashed.digest == REFERENCE
+    assert crashed.dead_workers and crashed.n_requeued > 0
+    # requeue-exactly-once: no job bounces through the queue twice
+    assert max(crashed.requeued.values()) == 1
+    # the dead worker's in-flight jobs were re-run elsewhere, and the
+    # dedup-by-completed-set counted any late duplicates it produced
+    assert crashed.duplicates >= 0
+
+
+@pytest.mark.parametrize("policy", ("self", "rma"))
+def test_perturb_invariance_across_seeds(policy):
+    digests = set()
+    for perturb in (1, 2, 3):
+        result = run_farm(small_cluster(perturb=perturb),
+                          small_spec(policy))
+        assert result.jobs_done == N_JOBS
+        digests.add(result.digest)
+    assert digests == {REFERENCE}
+
+
+def test_load_burst_parks_then_readmits_workers():
+    load = LoadScript(cycle_triggers=[
+        CycleTrigger(cycle=2, node=4, action="start", count=2),
+        CycleTrigger(cycle=4, node=4, action="stop", count=2),
+    ])
+    result = run_farm(small_cluster(sanitize=True), small_spec("guided"),
+                      load_script=load)
+    assert result.jobs_done == N_JOBS
+    assert result.digest == REFERENCE
+    assert result.park_events >= 1
+    assert result.readmit_events >= 1
+    if result.requeued:
+        assert max(result.requeued.values()) == 1
+
+
+def test_churn_under_every_policy_keeps_digest():
+    failure = FailureScript(cycle_faults=[
+        CycleFault(cycle=2, node=3, action="kill"),
+    ])
+    load = LoadScript(cycle_triggers=[
+        CycleTrigger(cycle=3, node=5, action="start", count=2),
+        CycleTrigger(cycle=5, node=5, action="stop", count=2),
+    ])
+    for policy in POLICIES:
+        result = run_farm(
+            Cluster(ClusterSpec(n_nodes=8, seed=SEED)),
+            small_spec(policy),
+            load_script=load, failure_script=failure,
+        )
+        assert result.jobs_done == N_JOBS, policy
+        assert result.digest == REFERENCE, policy
+        if result.requeued:
+            assert max(result.requeued.values()) == 1, policy
+
+
+def test_all_workers_dead_raises_farm_error():
+    failure = FailureScript(cycle_faults=[
+        CycleFault(cycle=1, node=1, action="kill"),
+        CycleFault(cycle=1, node=2, action="kill"),
+    ])
+    with pytest.raises(FarmError, match="every worker died"):
+        run_farm(small_cluster(3), small_spec("self", cycles=4),
+                 failure_script=failure)
+
+
+# ----------------------------------------------------------------------
+# validation + units
+# ----------------------------------------------------------------------
+
+def test_farm_spec_validation():
+    with pytest.raises(ConfigError, match="at least one job"):
+        run_farm(small_cluster(2), FarmSpec(n_jobs=0))
+    with pytest.raises(ConfigError, match="chunk"):
+        run_farm(small_cluster(2), FarmSpec(chunk=0))
+    with pytest.raises(ConfigError, match="skew"):
+        run_farm(small_cluster(2), FarmSpec(skew="bimodal"))
+    with pytest.raises(ConfigError, match="master and at least one"):
+        run_farm(small_cluster(1), FarmSpec())
+
+
+def test_farm_config_validation_and_oracle():
+    with pytest.raises(ConfigError):
+        FarmConfig(policy="round-robin")
+    with pytest.raises(ConfigError):
+        FarmConfig(n_jobs=-5)
+    cfg = FarmConfig(n_jobs=120, policy="rma", chunk=4)
+    result = run_farm_app(small_cluster(4), cfg)
+    check = farm_oracle(cfg)
+    assert check(result) == ""
+    # a tampered digest is caught
+    result.digest = "0" * 40
+    assert "deviates" in check(result)
+
+
+def test_job_queue_take_requeue_accounting():
+    q = JobQueue(range(10))
+    assert len(q) == 10
+    assert q.take(4) == [0, 1, 2, 3]
+    assert q.take(0) == []
+    q.requeue([1, 3])
+    q.requeue([1])
+    assert q.take(100) == [4, 5, 6, 7, 8, 9, 1, 3, 1]
+    assert len(q) == 0
+    assert q.requeued == {1: 2, 3: 1}
+    assert q.n_requeued == 3
+    q.extend([42])
+    assert len(q) == 1 and q.n_requeued == 3
+
+
+# ----------------------------------------------------------------------
+# campaign integration
+# ----------------------------------------------------------------------
+
+def test_campaign_farm_combo_runs_and_checks():
+    row = run_combo({
+        "app": "farm", "policy": "rma", "n_nodes": 4,
+        "n_jobs": 120, "chunk": 4, "skew": "hot",
+        "seed": 0, "cycles": 4, "sanitize": 1,
+    })
+    metrics = row["metrics"]
+    assert metrics["jobs_done"] == 120
+    assert metrics["jobs_per_sec"] > 0
+    assert metrics["duplicates"] == 0
+
+
+def test_campaign_aggregates_farm_rows():
+    # farm rows carry a different metric set than the phase apps; the
+    # aggregate must summarize throughput, not KeyError on redist/drop
+    from repro.campaign.report import render_summary
+    from repro.campaign.results import aggregate_results
+
+    rows = [run_combo({
+        "app": "farm", "policy": policy, "n_nodes": 4,
+        "n_jobs": 120, "chunk": 4, "cycles": 4,
+    }) for policy in ("self", "rma")]
+    agg = aggregate_results("t", rows)
+    (group,) = agg["groups"]
+    assert group["app"] == "farm" and group["count"] == 2
+    assert group["min_jobs_done"] == 120
+    assert group["mean_jobs_per_sec"] > 0
+    assert "farm" in render_summary(agg)
+
+
+def test_campaign_rejects_master_node_faults():
+    with pytest.raises(ConfigError, match="node 0"):
+        run_combo({
+            "app": "farm", "policy": "self", "n_nodes": 4,
+            "n_jobs": 120, "failure": "crash:n0@c2",
+        })

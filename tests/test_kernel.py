@@ -369,3 +369,36 @@ def test_cluster_spec_kernel_selects_engine():
     assert cal.sim.engine == "calendar"
     with pytest.raises(_CE):
         ClusterSpec(n_nodes=2, kernel="quantum")
+
+
+def test_kill_mid_compute_cancels_cpu_job():
+    """A process killed while its Compute is in flight must have that
+    CPU job cancelled: the stale completion used to clobber the
+    terminal state back to BLOCKED, resume the closed generator, and
+    fire ``done_signal`` a second time."""
+    from repro.config import ClusterSpec
+    from repro.simcluster import Cluster
+
+    cluster = Cluster(ClusterSpec(n_nodes=1))
+    sim = cluster.sim
+    node = cluster.nodes[0]
+
+    def victim():
+        yield Compute(5e8)  # ~5 simulated seconds; killed at t=1
+        return "unreachable"
+
+    def bystander():
+        # outlives the victim's would-be completion, so a stale CPU
+        # callback would fire while the loop is still running
+        yield Sleep(20.0)
+        return "ok"
+
+    p = sim.spawn(victim(), name="victim", node=node)
+    q = sim.spawn(bystander(), name="bystander", node=node)
+    sim.schedule(1.0, lambda: sim.kill(p))
+    sim.run_all([p, q], tolerate=lambda pr: pr is p)
+    assert p.state == ProcState.FAILED
+    assert p.cpu_job is None
+    assert q.result == "ok"
+    # the node's CPU holds no orphaned work for the dead process
+    assert all(job.proc is not p for job in node.cpu.runnable_jobs())

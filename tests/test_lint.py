@@ -495,3 +495,65 @@ def test_dyn901_suppression_is_dynkern_not_dynsan():
     # dynsan's own marker does not silence a dynkern-owned rule
     wrong = lint_source("import heapq  # dynsan: ok\n", kernel_zone=True)
     assert codes(wrong) == ["DYN901"]
+
+
+# ----------------------------------------------------------------------
+# DYN1101: farm-protocol access outside repro.farm / repro.mpi.rma
+# ----------------------------------------------------------------------
+
+def test_dyn1101_fixture_findings():
+    src = (FIXTURES / "bad_dyn1101_farm.py").read_text()
+    findings = lint_source(src, "bad_dyn1101_farm.py", farm_zone=True)
+    assert codes(findings) == ["DYN1101"] * 3
+    assert "211" in findings[0].message
+    assert "213" in findings[1].message
+    assert "Window" in findings[2].message
+    # suppressed lines, out-of-band tags, and the whole file outside
+    # the zone are all clean
+    assert lint_source(src, "bad_dyn1101_farm.py") == []
+
+
+def test_dyn1101_zone_boundaries(tmp_path):
+    code = "def f(ep):\n    yield from ep.send(0, 212, None)\n"
+    lib = tmp_path / "repro" / "apps"
+    lib.mkdir(parents=True)
+    (lib / "rogue.py").write_text(code)
+    farm_home = tmp_path / "repro" / "farm"
+    farm_home.mkdir()
+    (farm_home / "runtime.py").write_text(code)
+    rma_home = tmp_path / "repro" / "mpi"
+    rma_home.mkdir()
+    (rma_home / "rma.py").write_text(code)
+    (rma_home / "comm.py").write_text(code)
+    outside = tmp_path / "tests"
+    outside.mkdir()
+    (outside / "test_farm.py").write_text(code)
+    assert codes(lint_file(lib / "rogue.py")) == ["DYN1101"]
+    assert lint_file(farm_home / "runtime.py") == []   # the farm home
+    assert lint_file(rma_home / "rma.py") == []        # the RMA home
+    assert codes(lint_file(rma_home / "comm.py")) == ["DYN1101"]
+    assert lint_file(outside / "test_farm.py") == []   # tests are free
+
+
+def test_dyn1101_window_and_keyword_tags_caught():
+    findings = lint_source(
+        "def f(comm, ep):\n"
+        "    w = Window(comm, 8)\n"
+        "    yield from ep.recv(0, tag=215)\n",
+        farm_zone=True,
+    )
+    assert codes(findings) == ["DYN1101"] * 2
+    assert "Window" in findings[0].message
+    assert "215" in findings[1].message
+
+
+def test_dyn1101_suppression_is_dynfarm_not_dynsan():
+    ok = lint_source("def f(ep):\n"
+                     "    yield from ep.send(0, 211, None)  # dynfarm: ok\n",
+                     farm_zone=True)
+    assert ok == []
+    # dynsan's own marker does not silence a dynfarm-owned rule
+    wrong = lint_source("def f(ep):\n"
+                        "    yield from ep.send(0, 211, None)  # dynsan: ok\n",
+                        farm_zone=True)
+    assert codes(wrong) == ["DYN1101"]
